@@ -1,0 +1,42 @@
+"""Design-choice ablations (DESIGN.md section 5)."""
+
+from repro.experiments import ablations
+
+
+def test_contention_model_ablation(benchmark, save_report):
+    rows = benchmark.pedantic(
+        ablations.contention_model_ablation, rounds=1, iterations=1
+    )
+    save_report(
+        "ablation_contention_model", ablations.format_results(rows)
+    )
+    by_variant = {str(r["variant"]): r for r in rows}
+    # the full cost model predicts the simulator best
+    assert float(by_variant["pccs"]["misprediction_pct"]) < 15.0
+    # removing contention awareness degrades prediction fidelity
+    assert float(by_variant["no-contention"]["misprediction_pct"]) > float(
+        by_variant["pccs"]["misprediction_pct"]
+    )
+
+
+def test_pccs_accuracy_ablation(benchmark, save_report):
+    result = benchmark.pedantic(
+        ablations.pccs_accuracy_ablation, rounds=1, iterations=1
+    )
+    lines = [f"{k}: {v:.4f}" for k, v in result.items()]
+    save_report("ablation_pccs_accuracy", "\n".join(lines))
+    # decoupled profiling costs O(grid^2) probes, not O(layers^2)
+    # pairwise co-runs, and stays within a few percent of the oracle
+    assert result["mean_rel_err"] < 0.05
+
+
+def test_solver_anytime_ablation(benchmark, save_report):
+    rows = benchmark.pedantic(
+        ablations.solver_anytime_ablation, rounds=1, iterations=1
+    )
+    save_report("ablation_solver_anytime", ablations.format_results(rows))
+    by_variant = {str(r["variant"]): r for r in rows}
+    assert (
+        by_variant["bound-ordered"]["nodes"]
+        <= by_variant["unordered"]["nodes"]
+    )

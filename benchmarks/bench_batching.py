@@ -1,0 +1,24 @@
+"""Batching vs concurrency study."""
+
+from repro.experiments import batching
+
+from conftest import full_run
+
+
+def test_batching_vs_concurrency(benchmark, save_report):
+    models = batching.DEFAULT_MODELS if full_run() else ("googlenet",)
+    rows = benchmark.pedantic(
+        batching.run, kwargs={"models": models}, rounds=1, iterations=1
+    )
+    save_report("batching", batching.format_results(rows))
+
+    for row in rows:
+        # batching always raises the per-frame latency floor
+        assert float(row["batched_latency_ms"]) > 0
+        assert float(row["concurrent_fps"]) > 0
+        # the trade is real: neither option dominates by an order of
+        # magnitude
+        ratio = float(row["batched_gpu_fps"]) / float(
+            row["concurrent_fps"]
+        )
+        assert 0.3 < ratio < 3.0

@@ -1,0 +1,30 @@
+"""DSA design-space sweep."""
+
+from repro.experiments import dsa_design
+
+from conftest import full_run
+
+
+def test_dsa_design_space(benchmark, save_report):
+    scales = dsa_design.DEFAULT_SCALES if full_run() else (0.5, 1.0, 2.0)
+    rows = benchmark.pedantic(
+        dsa_design.run, kwargs={"scales": scales}, rounds=1, iterations=1
+    )
+    save_report("dsa_design", dsa_design.format_results(rows))
+
+    by_mode: dict[str, dict[float, float]] = {}
+    for r in rows:
+        by_mode.setdefault(str(r["mode"]), {})[
+            float(r["dsa_scale"])
+        ] = float(r["gain_vs_serial_pct"])
+    # the never-lose guarantee holds at every design point
+    for gains in by_mode.values():
+        assert all(g >= -1.0 for g in gains.values())
+    # the study's finding: scaling compute+bandwidth together pays at
+    # the top of the range at least as much as compute alone (raw
+    # FLOPs without memory bandwidth are throttled by EMC pressure)
+    top = max(by_mode["compute-only"])
+    assert (
+        by_mode["compute+bw"][top] >= by_mode["compute-only"][top] - 0.5
+    )
+    assert max(by_mode["compute+bw"].values()) > 0.5

@@ -1,0 +1,16 @@
+"""Fig. 1: VGG-19 + ResNet-101 case study on Xavier AGX."""
+
+from repro.experiments import fig1_case_study
+
+
+def test_fig1_case_study(benchmark, save_report):
+    rows = benchmark.pedantic(
+        fig1_case_study.run, rounds=1, iterations=1
+    )
+    save_report("fig1_case_study", fig1_case_study.format_results(rows))
+
+    latencies = [float(r["latency_ms"]) for r in rows]
+    serial, naive, hax = latencies
+    # paper: serial 11.3 ms > naive 10.6 ms > HaX-CoNN split
+    assert hax < naive < serial
+    assert rows[2]["transitions"] >= 1

@@ -1,0 +1,19 @@
+"""Fig. 3: EMC utilization sweep over conv input/filter sizes."""
+
+import numpy as np
+
+from repro.experiments import fig3_emc_sweep
+
+
+def test_fig3_emc_sweep(benchmark, save_report):
+    rows = benchmark(fig3_emc_sweep.run)
+    save_report("fig3_emc_sweep", fig3_emc_sweep.format_results(rows))
+
+    assert len(rows) == 25
+    gpu = np.array([float(r["gpu_util_pct"]) for r in rows])
+    dla = np.array([float(r["dla_util_pct"]) for r in rows])
+    # paper: GPU and DLA EMC utilization are correlated & proportional
+    assert np.corrcoef(gpu, dla)[0, 1] > 0.6
+    # paper: larger filters -> higher arithmetic intensity -> lower util
+    i1 = [r for r in rows if r["input"] == "i1"]
+    assert float(i1[0]["gpu_util_pct"]) > float(i1[-1]["gpu_util_pct"])

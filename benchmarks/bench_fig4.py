@@ -1,0 +1,18 @@
+"""Fig. 4: contention intervals of co-running layers."""
+
+from repro.experiments import fig4_intervals
+
+
+def test_fig4_intervals(benchmark, save_report):
+    rows = benchmark(fig4_intervals.run)
+    slowdowns = fig4_intervals.layer_slowdowns()
+    lines = [fig4_intervals.format_results(rows), ""]
+    for layer, s in sorted(slowdowns.items()):
+        lines.append(f"{layer}: slowdown {s:.3f}x")
+    save_report("fig4_intervals", "\n".join(lines))
+
+    # the paper's point: slowdown is non-uniform across layers and
+    # changes with the co-runner set
+    assert len(slowdowns) == 5
+    assert max(slowdowns.values()) - min(slowdowns.values()) > 0.2
+    assert len(rows) >= 5  # multiple distinct contention intervals

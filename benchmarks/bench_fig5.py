@@ -1,0 +1,28 @@
+"""Fig. 5: Scenario 1 throughput (two instances of the same DNN)."""
+
+from repro.experiments import fig5_scenario1
+
+from conftest import full_run
+
+
+def test_fig5_scenario1(benchmark, save_report):
+    models = (
+        fig5_scenario1.DEFAULT_MODELS
+        if full_run()
+        else ("googlenet", "resnet101", "inception")
+    )
+    rows = benchmark.pedantic(
+        fig5_scenario1.run, kwargs={"models": models}, rounds=1, iterations=1
+    )
+    save_report("fig5_scenario1", fig5_scenario1.format_results(rows))
+
+    for row in rows:
+        baselines = [
+            float(row["gpu_only_fps"]),
+            float(row["naive_fps"]),
+            float(row["mensa_fps"]),
+        ]
+        # paper: HaX-CoNN boosts FPS up to 29% and never loses
+        assert float(row["haxconn_fps"]) >= max(baselines) * 0.99
+    improvements = [float(r["improvement_pct"]) for r in rows]
+    assert max(improvements) > 3.0

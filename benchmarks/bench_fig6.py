@@ -1,0 +1,27 @@
+"""Fig. 6: GoogleNet-on-GPU contention slowdown vs co-runners."""
+
+from repro.experiments import fig6_slowdown
+
+from conftest import full_run
+
+
+def test_fig6_slowdown(benchmark, save_report):
+    corunners = (
+        fig6_slowdown.DEFAULT_CORUNNERS
+        if full_run()
+        else ("resnet50", "resnet101", "inception")
+    )
+    rows = benchmark.pedantic(
+        fig6_slowdown.run,
+        kwargs={"corunners": corunners},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig6_slowdown", fig6_slowdown.format_results(rows))
+
+    naive = [float(r["naive_slowdown"]) for r in rows]
+    hax = [float(r["haxconn_slowdown"]) for r in rows]
+    # paper: baseline slowdowns are substantial (up to ~1.7x) and
+    # HaX-CoNN reduces the aggregate contention
+    assert max(naive) > 1.2
+    assert sum(hax) < sum(naive)

@@ -1,0 +1,24 @@
+"""Sensitivity of the headline result to substrate parameters."""
+
+from repro.experiments import sensitivity
+
+from conftest import full_run
+
+
+def test_sensitivity(benchmark, save_report):
+    sweeps = None
+    if not full_run():
+        sweeps = {
+            "interference_coeff": (0.15, 0.45, 0.60),
+            "emc_capacity_2clients": (0.70, 0.84),
+        }
+    rows = benchmark.pedantic(
+        sensitivity.run, kwargs={"sweeps": sweeps}, rounds=1, iterations=1
+    )
+    save_report("sensitivity", sensitivity.format_results(rows))
+
+    # HaX-CoNN never loses to the naive baselines at any swept point
+    for row in rows:
+        assert float(row["improvement_pct"]) >= -1.0, row
+    # and the advantage is real somewhere in the plausible range
+    assert max(float(r["improvement_pct"]) for r in rows) > 3.0

@@ -1,0 +1,19 @@
+"""Table 2: GoogleNet layer-group profile on Xavier AGX."""
+
+from repro.experiments import table2_layer_groups
+
+
+def test_table2_layer_groups(benchmark, save_report):
+    rows = benchmark(table2_layer_groups.run)
+    save_report(
+        "table2_layer_groups", table2_layer_groups.format_results(rows)
+    )
+
+    assert len(rows) == 10
+    ratios = [float(r["ratio"]) for r in rows if r["ratio"]]
+    # paper: DLA/GPU ratio varies 1.40x - 2.02x across groups
+    assert min(ratios) > 1.0
+    assert max(ratios) / min(ratios) > 1.2
+    # paper: memory throughput 42% - 78%
+    utils = [float(r["mem_thr_pct"]) for r in rows]
+    assert max(utils) > 40

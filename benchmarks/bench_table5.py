@@ -1,0 +1,23 @@
+"""Table 5: standalone runtimes, paper vs calibrated model."""
+
+from repro.experiments import table5_standalone
+
+
+def test_table5_standalone(benchmark, save_report):
+    rows = benchmark(table5_standalone.run)
+    save_report(
+        "table5_standalone", table5_standalone.format_results(rows)
+    )
+
+    assert len(rows) == 40
+    ratios = [float(r["ratio"]) for r in rows if r["ratio"] is not None]
+    assert all(0.4 < r < 2.5 for r in ratios)
+    # DenseNet cannot be built for the Xavier DLA (the paper's "-")
+    dash = [
+        r
+        for r in rows
+        if r["platform"] == "xavier"
+        and r["accelerator"] == "dla"
+        and r["model"] == "densenet121"
+    ]
+    assert dash[0]["modeled_ms"] is None

@@ -1,0 +1,31 @@
+"""Table 6: the ten headline experiments (Scenarios 2-4)."""
+
+from repro.experiments import table6_scenarios
+
+from conftest import full_run
+
+
+def test_table6_scenarios(benchmark, save_report):
+    # reduced default: one experiment per platform/scenario family;
+    # REPRO_FULL=1 runs all ten paper rows
+    numbers = None if full_run() else [1, 4, 7, 10]
+    rows = benchmark.pedantic(
+        table6_scenarios.run,
+        kwargs={"numbers": numbers},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(
+        "table6_scenarios", table6_scenarios.format_results(rows)
+    )
+
+    for row in rows:
+        # HaX-CoNN never loses to the best baseline (paper: 0-26%
+        # improvement; small negative noise tolerated)
+        assert float(row["improvement_pct"]) >= -3.0, row
+        naive_best = min(
+            float(row["gpu_only_lat_ms"]), float(row["naive_lat_ms"])
+        )
+        assert float(row["haxconn_lat_ms"]) <= naive_best * 1.01
+    # and it wins clearly somewhere
+    assert max(float(r["improvement_pct"]) for r in rows) > 2.0

@@ -1,0 +1,24 @@
+"""Table 7: on-the-fly solver overhead."""
+
+from repro.experiments import table7_overhead
+
+from conftest import full_run
+
+
+def test_table7_overhead(benchmark, save_report):
+    corunners = (
+        table7_overhead.DEFAULT_CORUNNERS
+        if full_run()
+        else ("caffenet", "googlenet", "resnet101", "vgg19")
+    )
+    rows = benchmark.pedantic(
+        table7_overhead.run,
+        kwargs={"corunners": corunners},
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table7_overhead", table7_overhead.format_results(rows))
+
+    # paper: running the solver during inference costs <= 2%
+    for row in rows:
+        assert 0.0 <= float(row["overhead_pct"]) <= 2.0, row

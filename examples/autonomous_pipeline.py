@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Autonomous-driving perception loop (paper Scenarios 3 and 4).
+
+A camera stream feeds a detection network whose outputs flow into a
+tracking network (a pipelined chain); a semantic-segmentation network
+runs in parallel on the same frames.  The loop's motion planner waits
+for *all* results, so the combined latency is the safety-relevant
+metric the paper's Scenario 4 minimizes.
+
+Run:  python examples/autonomous_pipeline.py
+"""
+
+from repro.core import HaXCoNN, Workload, WorkloadDNN, gpu_only, h2h, naive_concurrent
+from repro.runtime import run_schedule
+from repro.soc import get_platform
+
+
+def main() -> None:
+    platform = get_platform("xavier")
+
+    # detection -> tracking chain, plus segmentation in parallel
+    workload = Workload(
+        dnns=(
+            WorkloadDNN.of("googlenet", "resnet152"),  # detect -> track
+            WorkloadDNN.of("fcn_resnet18"),            # segmentation
+        ),
+        objective="latency",
+    )
+    print("Workload:")
+    for dnn in workload:
+        print(f"  stream {dnn.name}")
+
+    scheduler = HaXCoNN(platform)
+    schedulers = {
+        "GPU only": lambda w: gpu_only(w, platform, db=scheduler.db),
+        "naive GPU & DLA": lambda w: naive_concurrent(
+            w, platform, db=scheduler.db
+        ),
+        "H2H (contention-blind)": lambda w: h2h(
+            w, platform, db=scheduler.db
+        ),
+        "HaX-CoNN": scheduler.schedule,
+    }
+
+    print(f"\n{'scheduler':24s} {'predicted':>10s} {'measured':>10s}")
+    results = {}
+    for label, schedule_fn in schedulers.items():
+        result = schedule_fn(workload)
+        execution = run_schedule(result, platform)
+        results[label] = execution.latency_ms
+        print(
+            f"{label:24s} {result.predicted.makespan * 1e3:8.2f}ms "
+            f"{execution.latency_ms:8.2f}ms"
+        )
+
+    print("\nNote how the contention-blind scheduler's prediction "
+          "undershoots its own measurement, while HaX-CoNN's matches -- "
+          "that gap is the paper's central argument.")
+
+    hax = results["HaX-CoNN"]
+    best = min(v for k, v in results.items() if k != "HaX-CoNN")
+    print(f"\nHaX-CoNN vs best alternative: "
+          f"{(best - hax) / best * 100:+.1f}% latency")
+
+
+if __name__ == "__main__":
+    main()

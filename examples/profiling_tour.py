@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""A tour of the decoupled profiling pipeline (Sections 3.1-3.3).
+
+Shows everything HaX-CoNN learns about a DNN *before* scheduling:
+layer grouping, per-group times on each DSA, transition costs,
+requested memory throughput (including the black-box DSA estimation),
+and the PCCS contention surface.
+
+Run:  python examples/profiling_tour.py [model] [platform]
+"""
+
+import sys
+
+from repro.profiling import ProfileDB, estimate_blackbox_bw
+from repro.soc import get_platform
+
+
+def main() -> None:
+    model = sys.argv[1] if len(sys.argv) > 1 else "googlenet"
+    platform_name = sys.argv[2] if len(sys.argv) > 2 else "xavier"
+    platform = get_platform(platform_name)
+    db = ProfileDB(platform)
+
+    profile = db.profile(model, max_groups=10)
+    gpu, dsa = platform.gpu, platform.dsa
+    print(f"{model} on {platform.name}: {len(profile)} layer groups\n")
+    header = (
+        f"{'group':>9s} {'gpu ms':>8s} {'dsa ms':>8s} {'ratio':>6s} "
+        f"{'G->D us':>8s} {'D->G us':>8s} {'GPU bw':>8s} {'bb-est':>8s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for g in profile:
+        gpu_ms = g.time_s[gpu.name] * 1e3
+        dsa_t = g.time_s.get(dsa.name)
+        dsa_ms = f"{dsa_t * 1e3:8.3f}" if dsa_t else "       -"
+        ratio = f"{dsa_t / g.time_s[gpu.name]:6.2f}" if dsa_t else "     -"
+        g2d = sum(g.transition_s[(gpu.name, dsa.name)]) * 1e6
+        d2g = sum(g.transition_s[(dsa.name, gpu.name)]) * 1e6
+        bw = g.req_bw[gpu.name] / 1e9
+        if dsa_t:
+            # the paper's four-step estimation for counter-less DSAs
+            est = estimate_blackbox_bw(g.group, gpu, dsa, platform) / 1e9
+            bb = f"{est:7.1f}G"
+        else:
+            bb = "       -"
+        print(
+            f"{g.label:>9s} {gpu_ms:8.3f} {dsa_ms} {ratio} "
+            f"{g2d:8.1f} {d2g:8.1f} {bw:7.1f}G {bb}"
+        )
+
+    print("\nPCCS slowdown surface (own demand x external demand, "
+          "fractions of DRAM bandwidth):")
+    pccs = db.pccs
+    bw_total = platform.dram_bandwidth
+    fractions = (0.2, 0.4, 0.6, 0.8)
+    print("        " + "".join(f"ext={f:<6.1f}" for f in fractions))
+    for own in fractions:
+        row = "".join(
+            f"{pccs.slowdown(own * bw_total, [ext * bw_total]):<10.3f}"
+            for ext in fractions
+        )
+        print(f"own={own:<4.1f}{row}")
+
+
+if __name__ == "__main__":
+    main()

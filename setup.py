@@ -1,0 +1,6 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline
+(the sandbox has no `wheel` package for PEP-517 editable builds)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Reproduction of HaX-CoNN (PPoPP 2024).
+
+HaX-CoNN schedules layers of concurrently executing DNN inference
+workloads onto the heterogeneous accelerators of a shared-memory SoC,
+taking per-layer execution characteristics, shared-memory contention,
+and inter-accelerator transition costs into account to find *optimal*
+schedules.
+
+The public API lives in the subpackages:
+
+- :mod:`repro.dnn` -- DNN graph IR, model zoo, fusion and layer grouping.
+- :mod:`repro.soc` -- SoC platform models and the discrete-event
+  concurrent-execution simulator (the hardware substrate).
+- :mod:`repro.perf` -- analytical per-layer latency/throughput model.
+- :mod:`repro.profiling` -- decoupled offline profiling pipeline.
+- :mod:`repro.contention` -- PCCS slowdown model.
+- :mod:`repro.solver` -- anytime branch-and-bound constraint optimizer.
+- :mod:`repro.core` -- schedules, cost formulation, the HaXCoNN
+  scheduler, D-HaX-CoNN, and the Herald/H2H/Mensa baselines.
+- :mod:`repro.runtime` -- scenario drivers and metrics.
+- :mod:`repro.experiments` -- regenerates every table and figure of the
+  paper's evaluation section.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,150 @@
+"""Command-line interface: ``haxconn``.
+
+Subcommands
+-----------
+``haxconn schedule MODEL1 MODEL2 [--platform P] [--objective O]``
+    Find and execute the optimal co-schedule for a DNN pair.
+``haxconn experiment NAME``
+    Regenerate a paper table/figure (``fig1``, ``table2``, ``fig3``,
+    ``fig4``, ``table5``, ``fig5``, ``table6``, ``fig6``, ``fig7``,
+    ``table7``, ``table8``) or one of this reproduction's studies
+    (``sensitivity``, ``batching``, ``dsa-design``).
+``haxconn platforms`` / ``haxconn models``
+    List the modeled SoCs / the model zoo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+EXPERIMENTS = {
+    "fig1": "fig1_case_study",
+    "table2": "table2_layer_groups",
+    "fig3": "fig3_emc_sweep",
+    "fig4": "fig4_intervals",
+    "table5": "table5_standalone",
+    "fig5": "fig5_scenario1",
+    "table6": "table6_scenarios",
+    "fig6": "fig6_slowdown",
+    "fig7": "fig7_dynamic",
+    "table7": "table7_overhead",
+    "table8": "table8_exhaustive",
+    "sensitivity": "sensitivity",
+    "batching": "batching",
+    "dsa-design": "dsa_design",
+}
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import HaXCoNN, Workload, gpu_only, naive_concurrent
+    from repro.runtime import run_schedule
+    from repro.soc import get_platform
+
+    platform = get_platform(args.platform)
+    workload = Workload.concurrent(*args.models, objective=args.objective)
+    scheduler = HaXCoNN(platform, max_transitions=args.max_transitions)
+    result = scheduler.schedule(workload)
+    print(result.schedule.describe())
+    execution = run_schedule(result, platform)
+    if args.gantt:
+        from repro.runtime import render_timeline
+
+        print()
+        print(render_timeline(execution.timeline, legend=workload.names))
+        print()
+    print(f"measured latency: {execution.latency_ms:.2f} ms "
+          f"({execution.fps(1):.1f} FPS)")
+    for label, fn in (("gpu-only", gpu_only), ("naive", naive_concurrent)):
+        baseline = fn(workload, platform, db=scheduler.db)
+        measured = run_schedule(baseline, platform)
+        print(f"{label:9s} baseline: {measured.latency_ms:.2f} ms")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module_name = EXPERIMENTS.get(args.name)
+    if module_name is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"available: {', '.join(sorted(EXPERIMENTS))}",
+              file=sys.stderr)
+        return 2
+    module = importlib.import_module(f"repro.experiments.{module_name}")
+    rows = module.run()
+    print(module.format_results(rows))
+    return 0
+
+
+def _cmd_platforms(args: argparse.Namespace) -> int:
+    from repro.soc import available_platforms, get_platform
+
+    for name in available_platforms():
+        platform = get_platform(name)
+        accels = ", ".join(
+            f"{a.name} ({a.family})" for a in platform.accelerators
+        )
+        print(f"{name:8s} {platform.dram_bandwidth / 1e9:6.1f} GB/s  {accels}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from repro.dnn import zoo
+
+    for name in zoo.available():
+        graph = zoo.build(name)
+        print(f"{name:22s} {len(graph):4d} layers "
+              f"{graph.total_flops / 1e9:7.2f} GFLOPs "
+              f"{graph.total_params / 1e6:7.2f} M params")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="haxconn",
+        description="HaX-CoNN reproduction: contention-aware concurrent "
+        "DNN scheduling for heterogeneous SoCs",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="co-schedule DNNs")
+    p.add_argument("models", nargs="+", help="zoo model names")
+    p.add_argument("--platform", default="orin")
+    p.add_argument(
+        "--objective",
+        choices=("latency", "throughput", "energy"),
+        default="latency",
+    )
+    p.add_argument("--max-transitions", type=int, default=2)
+    p.add_argument(
+        "--gantt", action="store_true", help="render an ASCII timeline"
+    )
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("experiment", help="regenerate a paper artifact")
+    p.add_argument("name", help=f"one of {', '.join(sorted(EXPERIMENTS))}")
+    p.set_defaults(fn=_cmd_experiment)
+
+    p = sub.add_parser("platforms", help="list modeled SoCs")
+    p.set_defaults(fn=_cmd_platforms)
+
+    p = sub.add_parser("models", help="list the model zoo")
+    p.set_defaults(fn=_cmd_models)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except KeyError as exc:
+        # unknown model / platform names surface as KeyError with a
+        # human-readable message listing the alternatives
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

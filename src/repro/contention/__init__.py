@@ -1,0 +1,27 @@
+"""Shared-memory contention slowdown models.
+
+The paper estimates the co-run slowdown of a layer *without pairwise
+profiling*: each layer's standalone requested memory throughput is
+combined with the cumulative external traffic through PCCS [Xu et al.,
+MICRO'21], a processor-centric piecewise-linear slowdown model.
+
+- :class:`repro.contention.analytic.AnalyticShareModel` -- closed-form
+  demand-capped max-min sharing (the same arbitration the simulator
+  implements); serves as the oracle reference.
+- :class:`repro.contention.pccs.PCCSModel` -- the piecewise model,
+  fitted from a small synthetic co-run sweep on the simulator
+  (:func:`repro.contention.pccs.calibrate_pccs`), exactly mirroring the
+  paper's decoupled characterization.
+"""
+
+from repro.contention.base import ContentionModel, NoContentionModel
+from repro.contention.analytic import AnalyticShareModel
+from repro.contention.pccs import PCCSModel, calibrate_pccs
+
+__all__ = [
+    "ContentionModel",
+    "NoContentionModel",
+    "AnalyticShareModel",
+    "PCCSModel",
+    "calibrate_pccs",
+]

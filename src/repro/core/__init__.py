@@ -1,0 +1,51 @@
+"""HaX-CoNN: heterogeneity-aware execution of concurrent DNNs.
+
+- :mod:`repro.core.workload` -- what is being co-scheduled,
+- :mod:`repro.core.schedule` -- layer-group-to-DSA mapping IR,
+- :mod:`repro.core.formulation` -- the cost model of paper Section 3.4
+  (Eqs. 1-11): contention intervals, transition costs, objectives,
+- :mod:`repro.core.haxconn` -- the optimal scheduler,
+- :mod:`repro.core.dynamic` -- D-HaX-CoNN runtime adaptation,
+- :mod:`repro.core.baselines` -- GPU-only, naive GPU&DSA, Mensa,
+  Herald, and H2H comparators.
+"""
+
+from repro.core.workload import Workload, WorkloadDNN
+from repro.core.schedule import DNNSchedule, Schedule
+from repro.core.formulation import (
+    EvaluationResult,
+    Formulation,
+    ScheduleInfeasible,
+)
+from repro.core.haxconn import HaXCoNN, ScheduleResult
+from repro.core.baselines import (
+    gpu_only,
+    naive_concurrent,
+    mensa,
+    herald,
+    h2h,
+    BASELINES,
+)
+from repro.core.dynamic import DHaXCoNN, DynamicTrace
+from repro.core.schedule_cache import ScheduleCache
+
+__all__ = [
+    "Workload",
+    "WorkloadDNN",
+    "DNNSchedule",
+    "Schedule",
+    "EvaluationResult",
+    "Formulation",
+    "ScheduleInfeasible",
+    "HaXCoNN",
+    "ScheduleResult",
+    "gpu_only",
+    "naive_concurrent",
+    "mensa",
+    "herald",
+    "h2h",
+    "BASELINES",
+    "DHaXCoNN",
+    "DynamicTrace",
+    "ScheduleCache",
+]

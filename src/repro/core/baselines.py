@@ -1,0 +1,290 @@
+"""Baseline schedulers the paper compares against (Section 5).
+
+All baselines share HaX-CoNN's profiling substrate; what differs is
+the cost model -- exactly the axes of the paper's Table 1:
+
+===============  ============  ===========  ===========  ==========
+scheduler        concurrency   transitions  contention   optimal
+===============  ============  ===========  ===========  ==========
+``gpu_only``     serialized    n/a          n/a          n/a
+``naive``        fixed map     n/a          n/a          n/a
+``mensa``        per-DNN       greedy       ignored      no
+``herald``       co-schedule   **ignored**  ignored      for its model
+``h2h``          co-schedule   modeled      ignored      for its model
+HaX-CoNN         co-schedule   modeled      **PCCS**     yes
+===============  ============  ===========  ===========  ==========
+
+Each returns a :class:`~repro.core.haxconn.ScheduleResult` whose
+``predicted`` field is the *scheduler's own belief*; ground truth
+comes from executing the schedule on the simulator
+(:mod:`repro.runtime`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.contention.base import NoContentionModel
+from repro.core.formulation import Formulation
+from repro.core.haxconn import (
+    HaXCoNN,
+    ScheduleResult,
+    enumerate_assignments,
+    stream_profiles,
+)
+from repro.core.schedule import DNNSchedule, Schedule
+from repro.core.workload import Workload
+from repro.profiling.database import ProfileDB
+from repro.solver.problem import Infeasible
+from repro.soc.platform import Platform, get_platform
+
+
+def _context(
+    platform: Platform | str, db: ProfileDB | None
+) -> tuple[Platform, ProfileDB]:
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    return plat, (db if db is not None else ProfileDB(plat))
+
+
+def _contention_free_formulation(
+    workload: Workload,
+    platform: Platform,
+    db: ProfileDB,
+    *,
+    max_groups: int | None,
+    include_transitions: bool = True,
+    resource_constrained: bool = True,
+) -> Formulation:
+    profiles = stream_profiles(workload, db, max_groups=max_groups)
+    return Formulation(
+        profiles,
+        [d.repeats for d in workload],
+        workload.objective,
+        NoContentionModel(),
+        include_transitions=include_transitions,
+        resource_constrained=resource_constrained,
+        pipeline=workload.pipeline,
+        accel_power_w={
+            a.name: a.active_power_w for a in platform.accelerators
+        },
+    )
+
+
+def gpu_only(
+    workload: Workload,
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+) -> ScheduleResult:
+    """Everything on the GPU, streams serialized (paper baseline 1)."""
+    platform, db = _context(platform, db)
+    formulation = _contention_free_formulation(
+        workload, platform, db, max_groups=max_groups
+    )
+    gpu = platform.gpu.name
+    assignments = [
+        tuple(gpu for _ in range(len(p))) for p in formulation.profiles
+    ]
+    predicted = formulation.evaluate(assignments, serialized=True)
+    schedule = Schedule(
+        per_dnn=tuple(
+            DNNSchedule(dnn_name=workload.names[n], assignment=a)
+            for n, a in enumerate(assignments)
+        ),
+        serialized=True,
+        meta={"scheduler": "gpu-only"},
+    )
+    return ScheduleResult(
+        schedule=schedule,
+        predicted=predicted,
+        solver=None,
+        formulation=formulation,
+    )
+
+
+def naive_concurrent(
+    workload: Workload,
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+    orientation: tuple[str, ...] | None = None,
+) -> ScheduleResult:
+    """Whole-network GPU & DSA mapping (paper baseline 2).
+
+    Stream *n* runs entirely on ``orientation[n % len(orientation)]``
+    (default: GPU, DSA, GPU, ...), except capability-restricted groups
+    which fall back to the GPU -- TensorRT's GPUFallbackMode.
+    """
+    platform, db = _context(platform, db)
+    formulation = _contention_free_formulation(
+        workload, platform, db, max_groups=max_groups
+    )
+    if orientation is None:
+        orientation = (platform.gpu.name, platform.dsa.name)
+    gpu = platform.gpu.name
+    assignments = []
+    for n, profile in enumerate(formulation.profiles):
+        target = orientation[n % len(orientation)]
+        assignments.append(
+            tuple(
+                target if target in g.time_s else gpu
+                for g in profile.groups
+            )
+        )
+    predicted = formulation.evaluate(assignments, check_exclusive=False)
+    schedule = Schedule(
+        per_dnn=tuple(
+            DNNSchedule(dnn_name=workload.names[n], assignment=a)
+            for n, a in enumerate(assignments)
+        ),
+        serialized=False,
+        meta={"scheduler": "naive-gpu-dsa", "orientation": orientation},
+    )
+    return ScheduleResult(
+        schedule=schedule,
+        predicted=predicted,
+        solver=None,
+        formulation=formulation,
+    )
+
+
+def mensa(
+    workload: Workload,
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+) -> ScheduleResult:
+    """Mensa [Boroumand et al., PACT'21]: per-DNN greedy affinity.
+
+    Each stream is mapped independently (Mensa only supports single-DNN
+    execution); each group greedily picks the DSA minimizing its own
+    time plus the immediate transition cost -- the myopic strategy the
+    paper notes "fails to account for transition costs occurring in
+    the future", and it is blind to both concurrency and contention.
+    """
+    platform, db = _context(platform, db)
+    formulation = _contention_free_formulation(
+        workload, platform, db, max_groups=max_groups
+    )
+    assignments = []
+    for profile in formulation.profiles:
+        prev: str | None = None
+        picked: list[str] = []
+        for g, gp in enumerate(profile.groups):
+            best_accel, best_cost = None, float("inf")
+            for accel, t in gp.time_s.items():
+                cost = t
+                if prev is not None and accel != prev:
+                    cost += profile.transition(g - 1, prev, accel)
+                if cost < best_cost:
+                    best_accel, best_cost = accel, cost
+            assert best_accel is not None
+            picked.append(best_accel)
+            prev = best_accel
+        assignments.append(tuple(picked))
+    predicted = formulation.evaluate(assignments, check_exclusive=False)
+    schedule = Schedule(
+        per_dnn=tuple(
+            DNNSchedule(dnn_name=workload.names[n], assignment=a)
+            for n, a in enumerate(assignments)
+        ),
+        serialized=False,
+        meta={"scheduler": "mensa"},
+    )
+    return ScheduleResult(
+        schedule=schedule,
+        predicted=predicted,
+        solver=None,
+        formulation=formulation,
+    )
+
+
+def herald(
+    workload: Workload,
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+    max_transitions: int = 2,
+) -> ScheduleResult:
+    """Herald [Kwon et al., HPCA'21]: co-schedules on a cost model
+    that ignores **both** transition costs and memory contention."""
+    platform, db = _context(platform, db)
+    scheduler = HaXCoNN(
+        platform,
+        db=db,
+        contention_model=NoContentionModel(),
+        include_transitions=False,
+        resource_constrained=False,
+        max_transitions=max_transitions,
+        max_groups=max_groups,
+    )
+    return _schedule_or_naive(scheduler, workload, "herald")
+
+
+def h2h(
+    workload: Workload,
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+    max_transitions: int = 2,
+) -> ScheduleResult:
+    """H2H [Zhang et al., DAC'22]: Herald plus transition-cost
+    awareness, still blind to shared-memory contention."""
+    platform, db = _context(platform, db)
+    scheduler = HaXCoNN(
+        platform,
+        db=db,
+        contention_model=NoContentionModel(),
+        include_transitions=True,
+        resource_constrained=False,
+        max_transitions=max_transitions,
+        max_groups=max_groups,
+    )
+    return _schedule_or_naive(scheduler, workload, "h2h")
+
+
+def _schedule_or_naive(
+    scheduler: HaXCoNN, workload: Workload, name: str
+) -> ScheduleResult:
+    """Solve with the baseline's cost model; fall back to the naive
+    whole-network mapping when its own (chain-timeline, Eq. 9)
+    feasibility test rejects everything -- e.g. when both streams
+    contain GPU-forced groups that structurally overlap.  The real
+    Herald/H2H also emit such co-located mappings in those cases (the
+    paper: "certain layers end up being assigned to the same
+    accelerator at the same time")."""
+    try:
+        return scheduler.schedule(
+            workload, serial_fallback=False, scheduler_name=name
+        )
+    except Infeasible:
+        result = naive_concurrent(
+            workload,
+            scheduler.platform,
+            db=scheduler.db,
+            max_groups=scheduler.max_groups,
+        )
+        schedule = dataclasses.replace(
+            result.schedule, meta={"scheduler": name, "fallback": "naive"}
+        )
+        return ScheduleResult(
+            schedule=schedule,
+            predicted=result.predicted,
+            solver=None,
+            formulation=result.formulation,
+        )
+
+
+#: name -> callable, for experiment drivers
+BASELINES = {
+    "gpu_only": gpu_only,
+    "naive": naive_concurrent,
+    "mensa": mensa,
+    "herald": herald,
+    "h2h": h2h,
+}

@@ -1,0 +1,130 @@
+"""Static schedule cache (paper Section 3.5, the *static* path).
+
+For autonomous systems with fixed input devices and a known set of
+control-flow graphs, the paper predetermines optimal schedules offline
+and toggles them at runtime when the CFG changes -- no solver in the
+loop.  :class:`ScheduleCache` provides exactly that: it keys schedules
+by the workload signature (streams, repeats, pipeline, objective,
+platform, grouping), solves on first request, and answers instantly
+afterwards; the cache round-trips through JSON so a deployment ships
+its schedules alongside its engines.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator
+
+from repro.core.haxconn import HaXCoNN, ScheduleResult
+from repro.core.schedule import DNNSchedule, Schedule
+from repro.core.workload import Workload
+
+
+def workload_signature(workload: Workload, scheduler: HaXCoNN) -> str:
+    """Deterministic key: everything that shapes the optimal schedule.
+
+    Besides the workload itself this covers the scheduler's cost-model
+    configuration -- a cache file produced under one configuration must
+    not serve a scheduler with a different one.
+    """
+    parts = [
+        scheduler.platform.name,
+        str(scheduler.max_groups),
+        str(scheduler.max_transitions),
+        str(scheduler.include_transitions),
+        str(scheduler.resource_constrained),
+        f"{scheduler.fallback_margin:g}",
+        f"{scheduler.epsilon_makespan_frac:g}",
+        type(scheduler.contention_model).__name__,
+        workload.objective,
+        ";".join(
+            f"{'+'.join(d.models)}x{d.repeats}" for d in workload.dnns
+        ),
+        ",".join(f"{u}->{v}" for u, v in workload.pipeline),
+    ]
+    return "|".join(parts)
+
+
+class ScheduleCache:
+    """Solve-once, toggle-forever schedule store."""
+
+    def __init__(self, scheduler: HaXCoNN) -> None:
+        self.scheduler = scheduler
+        self._store: dict[str, Schedule] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, workload: Workload) -> bool:
+        return workload_signature(workload, self.scheduler) in self._store
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._store)
+
+    # ------------------------------------------------------------------
+    def get(self, workload: Workload) -> ScheduleResult:
+        """Return the optimal schedule, solving only on first request.
+
+        Cached schedules are re-materialized against a freshly built
+        formulation so the returned result carries predictions and is
+        directly executable by :func:`repro.runtime.run_schedule`.
+        """
+        key = workload_signature(workload, self.scheduler)
+        cached = self._store.get(key)
+        if cached is None:
+            self.misses += 1
+            result = self.scheduler.schedule(workload)
+            self._store[key] = result.schedule
+            return result
+        self.hits += 1
+        formulation, _ = self.scheduler.build_formulation(workload)
+        return self.scheduler.result_from_assignments(
+            workload,
+            formulation,
+            [s.assignment for s in cached],
+            scheduler_name=str(cached.meta.get("scheduler", "cached")),
+            serialized=cached.serialized,
+        )
+
+    def precompute(self, workloads: list[Workload]) -> None:
+        """Offline phase: solve every CFG the deployment can reach."""
+        for workload in workloads:
+            self.get(workload)
+
+    # -- persistence -----------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {
+            key: {
+                "serialized": schedule.serialized,
+                "streams": [
+                    {
+                        "dnn": s.dnn_name,
+                        "assignment": list(s.assignment),
+                    }
+                    for s in schedule.per_dnn
+                ],
+            }
+            for key, schedule in self._store.items()
+        }
+        Path(path).write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path, scheduler: HaXCoNN) -> "ScheduleCache":
+        cache = cls(scheduler)
+        payload = json.loads(Path(path).read_text())
+        for key, entry in payload.items():
+            cache._store[key] = Schedule(
+                per_dnn=tuple(
+                    DNNSchedule(
+                        dnn_name=s["dnn"],
+                        assignment=tuple(s["assignment"]),
+                    )
+                    for s in entry["streams"]
+                ),
+                serialized=bool(entry["serialized"]),
+                meta={"scheduler": "cached"},
+            )
+        return cache

@@ -1,0 +1,129 @@
+"""Workload description: which DNNs run together and how.
+
+A :class:`Workload` is an ordered set of logical DNN streams that
+execute *concurrently*.  Each stream is a :class:`WorkloadDNN`:
+
+- ``models`` -- one model name, or several chained back-to-back (the
+  paper's Scenario 4 runs GoogleNet->ResNet152 as one serial stream
+  next to a parallel FCN-ResNet18),
+- ``repeats`` -- how many frames the stream processes per scheduling
+  round; the exhaustive Table 8 evaluation balances mismatched DNN
+  speeds by iterating the faster one more often,
+- ``instance`` -- disambiguates identical streams (Scenario 1 runs two
+  instances of the same DNN on consecutive frames).
+
+The objective mirrors the paper's two goals: ``"latency"`` minimizes
+the maximum stream latency (Eq. 11), ``"throughput"`` maximizes the
+sum of stream rates (Eq. 10).  ``"energy"`` is this reproduction's
+extension along the AxoNN axis the paper cites: minimize the active
+energy of one scheduling round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+OBJECTIVES = ("latency", "throughput", "energy")
+
+
+@dataclass(frozen=True)
+class WorkloadDNN:
+    """One concurrent stream: a chain of one or more DNN models."""
+
+    models: tuple[str, ...]
+    repeats: int = 1
+    instance: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.models:
+            raise ValueError("WorkloadDNN needs at least one model")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if self.instance < 0:
+            raise ValueError(f"instance must be >= 0, got {self.instance}")
+
+    @classmethod
+    def of(cls, *models: str, repeats: int = 1) -> "WorkloadDNN":
+        return cls(models=tuple(models), repeats=repeats)
+
+    @property
+    def name(self) -> str:
+        base = "+".join(self.models)
+        if self.repeats != 1:
+            base = f"{base}x{self.repeats}"
+        if self.instance:
+            base = f"{base}@{self.instance}"
+        return base
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A set of concurrent streams plus the optimization objective.
+
+    ``pipeline`` lists (upstream, downstream) stream-index pairs with a
+    per-frame data dependency: frame *r* of the downstream stream may
+    only start once frame *r* of the upstream stream completed (the
+    paper's Scenario 3 detection->tracking chain over a camera
+    stream).
+    """
+
+    dnns: tuple[WorkloadDNN, ...]
+    objective: str = "latency"
+    pipeline: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.dnns:
+            raise ValueError("workload needs at least one DNN stream")
+        if self.objective not in OBJECTIVES:
+            raise ValueError(
+                f"objective must be one of {OBJECTIVES}, got "
+                f"{self.objective!r}"
+            )
+        names = [d.name for d in self.dnns]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"duplicate stream names in workload: {names}; use "
+                "distinct `instance` indices for identical streams"
+            )
+        for up, down in self.pipeline:
+            if not (0 <= up < len(self.dnns)) or not (
+                0 <= down < len(self.dnns)
+            ):
+                raise ValueError(
+                    f"pipeline edge ({up}, {down}) out of range"
+                )
+            if up == down:
+                raise ValueError("pipeline edge cannot be a self-loop")
+
+    @classmethod
+    def concurrent(
+        cls, *models: str | WorkloadDNN, objective: str = "latency"
+    ) -> "Workload":
+        """Build a workload of concurrent streams from model names.
+
+        Identical streams (Scenario 1) are auto-disambiguated with
+        increasing ``instance`` indices.
+        """
+        dnns = [
+            m if isinstance(m, WorkloadDNN) else WorkloadDNN.of(m)
+            for m in models
+        ]
+        seen: dict[str, int] = {}
+        out: list[WorkloadDNN] = []
+        for d in dnns:
+            key = d.name
+            count = seen.get(key, 0)
+            seen[key] = count + 1
+            out.append(replace(d, instance=count) if count else d)
+        return cls(dnns=tuple(out), objective=objective)
+
+    def __len__(self) -> int:
+        return len(self.dnns)
+
+    def __iter__(self) -> Iterator[WorkloadDNN]:
+        return iter(self.dnns)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.dnns)

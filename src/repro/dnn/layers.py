@@ -1,0 +1,498 @@
+"""Layer classes of the analytical DNN IR.
+
+Each layer knows how to infer its output shape from its input shapes
+and exposes the quantities the performance model and the profiler
+consume: multiply-accumulate based FLOPs, parameter (weight) counts,
+and activation sizes.  Weights themselves are never materialized --
+this IR exists to drive scheduling, not numerics.
+
+Conventions
+-----------
+* FLOPs count one multiply-accumulate as **2** floating point ops.
+* All byte quantities are returned in *elements*; callers multiply by
+  the datatype width (the evaluation uses FP16, 2 bytes/element, which
+  is what TensorRT builds for both GPU and DLA engines).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from repro.dnn.shapes import TensorShape, conv_out_hw
+
+
+class LayerError(ValueError):
+    """Raised for invalid layer configuration or shape mismatch."""
+
+
+class Layer(abc.ABC):
+    """Base class for all IR layers.
+
+    A layer is *bound* once :meth:`bind` has been called with its input
+    shapes (the graph builder does this); the analytical properties are
+    only available on bound layers.
+    """
+
+    #: class-level kind tag used by the perf model and fusion rules
+    kind: str = "generic"
+
+    #: whether an element-wise layer of this class may be fused into a
+    #: preceding conv/dense producer (TensorRT-style vertical fusion)
+    fusible: bool = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.in_shapes: tuple[TensorShape, ...] | None = None
+        self.out_shape: TensorShape | None = None
+
+    # -- shape handling ------------------------------------------------
+    def bind(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        """Bind input shapes and infer/record the output shape."""
+        shapes = tuple(inputs)
+        out = self.infer_shape(shapes)
+        self.in_shapes = shapes
+        self.out_shape = out
+        return out
+
+    @abc.abstractmethod
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        """Compute the output shape; raise :class:`LayerError` if invalid."""
+
+    def _require_bound(self) -> None:
+        if self.out_shape is None or self.in_shapes is None:
+            raise LayerError(f"layer {self.name!r} is not bound to shapes yet")
+
+    def _single_input(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if len(inputs) != 1:
+            raise LayerError(
+                f"{type(self).__name__} {self.name!r} expects exactly one "
+                f"input, got {len(inputs)}"
+            )
+        return inputs[0]
+
+    # -- analytical properties ------------------------------------------
+    @property
+    def flops(self) -> int:
+        """Floating point operations to execute this layer once."""
+        self._require_bound()
+        return self._flops()
+
+    @abc.abstractmethod
+    def _flops(self) -> int: ...
+
+    @property
+    def weight_params(self) -> int:
+        """Number of learned parameters (weights + biases)."""
+        return 0
+
+    @property
+    def input_elems(self) -> int:
+        """Total elements across all input tensors."""
+        self._require_bound()
+        assert self.in_shapes is not None
+        return sum(s.numel for s in self.in_shapes)
+
+    @property
+    def output_elems(self) -> int:
+        """Elements in the output tensor."""
+        self._require_bound()
+        assert self.out_shape is not None
+        return self.out_shape.numel
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per element moved (inputs + outputs + weights).
+
+        This is the quantity Section 3.3 of the paper correlates with
+        memory throughput: larger filters raise intensity and lower the
+        requested DRAM bandwidth.
+        """
+        moved = self.input_elems + self.output_elems + self.weight_params
+        return self.flops / moved if moved else 0.0
+
+    def __repr__(self) -> str:
+        shape = f" -> {self.out_shape}" if self.out_shape is not None else ""
+        return f"<{type(self).__name__} {self.name}{shape}>"
+
+
+class InputLayer(Layer):
+    """Graph entry point holding the network input shape."""
+
+    kind = "input"
+
+    def __init__(self, name: str, shape: TensorShape) -> None:
+        super().__init__(name)
+        self.shape = shape
+        self.bind(())
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if inputs:
+            raise LayerError("input layer takes no inputs")
+        return self.shape
+
+    def _flops(self) -> int:
+        return 0
+
+
+class Conv2d(Layer):
+    """2-D convolution (optionally grouped) with optional bias."""
+
+    kind = "conv"
+
+    def __init__(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int | tuple[int, int],
+        stride: int = 1,
+        padding: int | str | tuple[int | str, int | str] = "same",
+        groups: int = 1,
+        bias: bool = True,
+    ) -> None:
+        super().__init__(name)
+        kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+        if out_channels <= 0 or kh <= 0 or kw <= 0 or stride <= 0 or groups <= 0:
+            raise LayerError(f"invalid conv config for {name!r}")
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.kernel_hw = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.groups = groups
+        self.bias = bias
+
+    @property
+    def kernel_max(self) -> int:
+        """Largest kernel extent (drives buffer-affinity heuristics)."""
+        return max(self.kernel_hw)
+
+    @property
+    def kernel_area(self) -> int:
+        return self.kernel_hw[0] * self.kernel_hw[1]
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        if x.c % self.groups or self.out_channels % self.groups:
+            raise LayerError(
+                f"conv {self.name!r}: channels {x.c}->{self.out_channels} "
+                f"not divisible by groups={self.groups}"
+            )
+        oh, ow = conv_out_hw(x.h, x.w, self.kernel, self.stride, self.padding)
+        return TensorShape(self.out_channels, oh, ow)
+
+    @property
+    def in_channels(self) -> int:
+        self._require_bound()
+        assert self.in_shapes is not None
+        return self.in_shapes[0].c
+
+    @property
+    def weight_params(self) -> int:
+        self._require_bound()
+        weights = (
+            self.out_channels
+            * (self.in_channels // self.groups)
+            * self.kernel_area
+        )
+        return weights + (self.out_channels if self.bias else 0)
+
+    def _flops(self) -> int:
+        assert self.out_shape is not None
+        macs = (
+            self.out_shape.numel
+            * (self.in_channels // self.groups)
+            * self.kernel_area
+        )
+        return 2 * macs
+
+
+class DepthwiseConv2d(Conv2d):
+    """Depthwise convolution: groups == channels, one filter per channel."""
+
+    kind = "dwconv"
+
+    def __init__(
+        self,
+        name: str,
+        kernel: int,
+        stride: int = 1,
+        padding: int | str = "same",
+        bias: bool = True,
+    ) -> None:
+        # out_channels/groups are fixed at bind time to the input width
+        super().__init__(name, 1, kernel, stride, padding, groups=1, bias=bias)
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        self.out_channels = x.c
+        self.groups = x.c
+        return super().infer_shape(inputs)
+
+
+class Deconv2d(Layer):
+    """Transposed convolution (used by FCN upsampling heads)."""
+
+    kind = "deconv"
+
+    def __init__(
+        self,
+        name: str,
+        out_channels: int,
+        kernel: int,
+        stride: int,
+        bias: bool = True,
+    ) -> None:
+        super().__init__(name)
+        if out_channels <= 0 or kernel <= 0 or stride <= 0:
+            raise LayerError(f"invalid deconv config for {name!r}")
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.bias = bias
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        # "same"-style transposed conv: output = input * stride
+        return TensorShape(self.out_channels, x.h * self.stride, x.w * self.stride)
+
+    @property
+    def in_channels(self) -> int:
+        self._require_bound()
+        assert self.in_shapes is not None
+        return self.in_shapes[0].c
+
+    @property
+    def weight_params(self) -> int:
+        self._require_bound()
+        w = self.in_channels * self.out_channels * self.kernel * self.kernel
+        return w + (self.out_channels if self.bias else 0)
+
+    def _flops(self) -> int:
+        assert self.in_shapes is not None
+        # each input element scatters into a kernel x kernel window
+        macs = (
+            self.in_shapes[0].numel
+            * self.out_channels
+            * self.kernel
+            * self.kernel
+        )
+        return 2 * macs
+
+
+class Dense(Layer):
+    """Fully connected layer on a flat input."""
+
+    kind = "fc"
+
+    def __init__(self, name: str, out_features: int, bias: bool = True) -> None:
+        super().__init__(name)
+        if out_features <= 0:
+            raise LayerError(f"invalid fc width for {name!r}")
+        self.out_features = out_features
+        self.bias = bias
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        if not x.is_flat:
+            raise LayerError(
+                f"fc {self.name!r} requires a flat input, got {x} "
+                "(insert Flatten)"
+            )
+        return TensorShape(self.out_features)
+
+    @property
+    def in_features(self) -> int:
+        self._require_bound()
+        assert self.in_shapes is not None
+        return self.in_shapes[0].c
+
+    @property
+    def weight_params(self) -> int:
+        self._require_bound()
+        return self.in_features * self.out_features + (
+            self.out_features if self.bias else 0
+        )
+
+    def _flops(self) -> int:
+        return 2 * self.in_features * self.out_features
+
+
+class _Pool(Layer):
+    """Shared implementation for max/average pooling."""
+
+    def __init__(
+        self,
+        name: str,
+        kernel: int,
+        stride: int | None = None,
+        padding: int | str = 0,
+    ) -> None:
+        super().__init__(name)
+        if kernel <= 0:
+            raise LayerError(f"invalid pool kernel for {name!r}")
+        self.kernel = kernel
+        self.stride = stride if stride is not None else kernel
+        self.padding = padding
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        oh, ow = conv_out_hw(x.h, x.w, self.kernel, self.stride, self.padding)
+        return TensorShape(x.c, oh, ow)
+
+    def _flops(self) -> int:
+        assert self.out_shape is not None
+        return self.out_shape.numel * self.kernel * self.kernel
+
+
+class MaxPool2d(_Pool):
+    kind = "pool"
+
+
+class AvgPool2d(_Pool):
+    kind = "pool"
+
+
+class GlobalAvgPool2d(Layer):
+    """Average over the full spatial extent, producing a flat vector."""
+
+    kind = "pool"
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        return TensorShape(x.c)
+
+    def _flops(self) -> int:
+        return self.input_elems
+
+
+class BatchNorm(Layer):
+    """Batch normalization (inference mode: scale + shift per channel)."""
+
+    kind = "bn"
+    fusible = True
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs)
+
+    @property
+    def weight_params(self) -> int:
+        self._require_bound()
+        assert self.in_shapes is not None
+        return 2 * self.in_shapes[0].c
+
+    def _flops(self) -> int:
+        return 2 * self.output_elems
+
+
+class Activation(Layer):
+    """Pointwise non-linearity (relu, relu6, sigmoid, tanh, ...)."""
+
+    kind = "act"
+    fusible = True
+
+    def __init__(self, name: str, fn: str = "relu") -> None:
+        super().__init__(name)
+        self.fn = fn
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs)
+
+    def _flops(self) -> int:
+        return self.output_elems
+
+
+class LRN(Layer):
+    """Local response normalization (AlexNet/CaffeNet/GoogleNet era)."""
+
+    kind = "lrn"
+
+    def __init__(self, name: str, local_size: int = 5) -> None:
+        super().__init__(name)
+        self.local_size = local_size
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs)
+
+    def _flops(self) -> int:
+        return self.output_elems * (self.local_size + 3)
+
+
+class Add(Layer):
+    """Element-wise sum of N equal-shaped tensors (residual joins)."""
+
+    kind = "eltwise"
+    fusible = True
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if len(inputs) < 2:
+            raise LayerError(f"add {self.name!r} needs >= 2 inputs")
+        first = inputs[0]
+        for other in inputs[1:]:
+            if other != first:
+                raise LayerError(
+                    f"add {self.name!r}: mismatched inputs {first} vs {other}"
+                )
+        return first
+
+    def _flops(self) -> int:
+        assert self.in_shapes is not None
+        return (len(self.in_shapes) - 1) * self.output_elems
+
+
+class Concat(Layer):
+    """Channel-wise concatenation (inception/dense blocks)."""
+
+    kind = "concat"
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if len(inputs) < 2:
+            raise LayerError(f"concat {self.name!r} needs >= 2 inputs")
+        h, w = inputs[0].h, inputs[0].w
+        for s in inputs[1:]:
+            if (s.h, s.w) != (h, w):
+                raise LayerError(
+                    f"concat {self.name!r}: spatial mismatch {inputs[0]} vs {s}"
+                )
+        return TensorShape(sum(s.c for s in inputs), h, w)
+
+    def _flops(self) -> int:
+        return 0  # pure data movement
+
+
+class Flatten(Layer):
+    """Reshape a feature map into a flat vector (no compute)."""
+
+    kind = "reshape"
+    fusible = True
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs).flatten()
+
+    def _flops(self) -> int:
+        return 0
+
+
+class Softmax(Layer):
+    """Softmax over a flat vector (classifier head)."""
+
+    kind = "softmax"
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs)
+
+    def _flops(self) -> int:
+        return 5 * self.output_elems
+
+
+class Dropout(Layer):
+    """Inference-time no-op kept so zoo topologies match the papers."""
+
+    kind = "dropout"
+    fusible = True
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs)
+
+    def _flops(self) -> int:
+        return 0

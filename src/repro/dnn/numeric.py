@@ -1,0 +1,265 @@
+"""Reference NumPy executor for the DNN IR.
+
+The scheduler only ever consumes analytical quantities, but the IR's
+shape/padding/grouping semantics must match what real frameworks
+compute.  This module runs a :class:`~repro.dnn.graph.DNNGraph`
+numerically (im2col convolutions, real pooling windows, actual
+concatenation) so the test suite can validate the IR against ground
+truth instead of trusting the arithmetic in
+:mod:`repro.dnn.layers`.
+
+Weights are materialized deterministically from a seed; tensors are
+``float32`` arrays shaped ``(C, H, W)`` (flat tensors: ``(N,)``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Deconv2d,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    InputLayer,
+    Layer,
+    LRN,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import window_out
+
+
+class NumericError(RuntimeError):
+    """A layer kind has no numeric implementation."""
+
+
+def _pad_amount(size: int, kernel: int, stride: int, padding) -> int:
+    """Symmetric padding (per side) realizing the IR's output size."""
+    if isinstance(padding, int):
+        return padding
+    mode = padding.lower()
+    if mode == "valid":
+        return 0
+    out = window_out(size, kernel, stride, padding)
+    needed = max((out - 1) * stride + kernel - size, 0)
+    return (needed + 1) // 2
+
+
+def _pad_hw(x: np.ndarray, kh, kw, stride, padding) -> np.ndarray:
+    ph_pw = padding if isinstance(padding, tuple) else (padding, padding)
+    ph = _pad_amount(x.shape[1], kh, stride, ph_pw[0])
+    pw = _pad_amount(x.shape[2], kw, stride, ph_pw[1])
+    if ph == 0 and pw == 0:
+        return x
+    return np.pad(x, ((0, 0), (ph, ph), (pw, pw)))
+
+
+def _windows(x: np.ndarray, kh: int, kw: int, stride: int, oh: int, ow: int):
+    """View of shape (C, oh, ow, kh, kw) over the padded input."""
+    c = x.shape[0]
+    s0, s1, s2 = x.strides
+    return np.lib.stride_tricks.as_strided(
+        x,
+        shape=(c, oh, ow, kh, kw),
+        strides=(s0, s1 * stride, s2 * stride, s1, s2),
+        writeable=False,
+    )
+
+
+class NumericExecutor:
+    """Forward-executes a graph with deterministic random weights."""
+
+    def __init__(self, graph: DNNGraph, *, seed: int = 0) -> None:
+        self.graph = graph
+        self.rng = np.random.default_rng(seed)
+        self._weights: dict[str, tuple[np.ndarray, np.ndarray | None]] = {}
+
+    # -- weights -----------------------------------------------------
+    def _conv_weights(self, layer: Conv2d):
+        if layer.name not in self._weights:
+            kh, kw = layer.kernel_hw
+            cin = layer.in_channels // layer.groups
+            w = self.rng.standard_normal(
+                (layer.out_channels, cin, kh, kw)
+            ).astype(np.float32) * 0.05
+            b = (
+                self.rng.standard_normal(layer.out_channels).astype(
+                    np.float32
+                )
+                * 0.01
+                if layer.bias
+                else None
+            )
+            self._weights[layer.name] = (w, b)
+        return self._weights[layer.name]
+
+    def _dense_weights(self, layer: Dense):
+        if layer.name not in self._weights:
+            w = self.rng.standard_normal(
+                (layer.out_features, layer.in_features)
+            ).astype(np.float32) * 0.05
+            b = (
+                self.rng.standard_normal(layer.out_features).astype(
+                    np.float32
+                )
+                * 0.01
+                if layer.bias
+                else None
+            )
+            self._weights[layer.name] = (w, b)
+        return self._weights[layer.name]
+
+    # -- layer semantics -----------------------------------------------
+    def _conv(self, layer: Conv2d, x: np.ndarray) -> np.ndarray:
+        kh, kw = layer.kernel_hw
+        out_shape = layer.out_shape
+        assert out_shape is not None
+        oh, ow = out_shape.h, out_shape.w
+        padded = _pad_hw(x, kh, kw, layer.stride, layer.padding)
+        win = _windows(padded, kh, kw, layer.stride, oh, ow)
+        w, b = self._conv_weights(layer)
+        groups = layer.groups
+        cin_g = layer.in_channels // groups
+        cout_g = layer.out_channels // groups
+        out = np.empty((layer.out_channels, oh, ow), dtype=np.float32)
+        for g in range(groups):
+            # (cin_g, oh, ow, kh, kw) x (cout_g, cin_g, kh, kw)
+            patch = win[g * cin_g : (g + 1) * cin_g]
+            cols = patch.transpose(1, 2, 0, 3, 4).reshape(oh * ow, -1)
+            kernel = w[g * cout_g : (g + 1) * cout_g].reshape(cout_g, -1)
+            out[g * cout_g : (g + 1) * cout_g] = (
+                (cols @ kernel.T).T.reshape(cout_g, oh, ow)
+            )
+        if b is not None:
+            out += b[:, None, None]
+        return out
+
+    def _pool(self, layer, x: np.ndarray, reduce_fn) -> np.ndarray:
+        k = layer.kernel
+        out_shape = layer.out_shape
+        assert out_shape is not None
+        oh, ow = out_shape.h, out_shape.w
+        padded = _pad_hw(x, k, k, layer.stride, layer.padding)
+        win = _windows(padded, k, k, layer.stride, oh, ow)
+        return reduce_fn(win, axis=(3, 4)).astype(np.float32)
+
+    def _dense(self, layer: Dense, x: np.ndarray) -> np.ndarray:
+        w, b = self._dense_weights(layer)
+        out = w @ x.reshape(-1)
+        if b is not None:
+            out = out + b
+        return out.astype(np.float32)
+
+    def _apply(self, layer: Layer, inputs: list[np.ndarray]) -> np.ndarray:
+        if isinstance(layer, InputLayer):
+            raise AssertionError("input layer handled by run()")
+        if isinstance(layer, Conv2d):  # covers DepthwiseConv2d
+            return self._conv(layer, inputs[0])
+        if isinstance(layer, MaxPool2d):
+            # -inf padding would be more faithful; zero-padded windows
+            # match framework behaviour for non-negative activations
+            return self._pool(layer, inputs[0], np.max)
+        if isinstance(layer, AvgPool2d):
+            return self._pool(layer, inputs[0], np.mean)
+        if isinstance(layer, GlobalAvgPool2d):
+            return inputs[0].mean(axis=(1, 2)).astype(np.float32)
+        if isinstance(layer, Dense):
+            return self._dense(layer, inputs[0])
+        if isinstance(layer, BatchNorm):
+            x = inputs[0]
+            mean = x.mean(axis=(1, 2), keepdims=True)
+            std = x.std(axis=(1, 2), keepdims=True) + 1e-5
+            return ((x - mean) / std).astype(np.float32)
+        if isinstance(layer, Activation):
+            x = inputs[0]
+            if layer.fn == "relu6":
+                return np.clip(x, 0.0, 6.0)
+            return np.maximum(x, 0.0)
+        if isinstance(layer, LRN):
+            x = inputs[0]
+            sq = x * x
+            denom = np.ones_like(x)
+            half = layer.local_size // 2
+            c = x.shape[0]
+            for i in range(c):
+                lo, hi = max(0, i - half), min(c, i + half + 1)
+                denom[i] += 1e-4 * sq[lo:hi].sum(axis=0)
+            return (x / denom**0.75).astype(np.float32)
+        if isinstance(layer, Add):
+            return np.sum(inputs, axis=0).astype(np.float32)
+        if isinstance(layer, Concat):
+            return np.concatenate(inputs, axis=0)
+        if isinstance(layer, Flatten):
+            return inputs[0].reshape(-1)
+        if isinstance(layer, Softmax):
+            x = inputs[0] - inputs[0].max()
+            e = np.exp(x)
+            return (e / e.sum()).astype(np.float32)
+        if isinstance(layer, Dropout):
+            return inputs[0]
+        if isinstance(layer, Deconv2d):
+            # zero-insertion upsample followed by a conv-like smear:
+            # shape-faithful reference, not performance-tuned
+            x = inputs[0]
+            s = layer.stride
+            up = np.zeros(
+                (x.shape[0], x.shape[1] * s, x.shape[2] * s),
+                dtype=np.float32,
+            )
+            up[:, ::s, ::s] = x
+            # channel mixing with a fixed average kernel
+            out_shape = layer.out_shape
+            assert out_shape is not None
+            mixed = up.mean(axis=0, keepdims=True)
+            return np.repeat(mixed, out_shape.c, axis=0)
+        raise NumericError(f"no numeric semantics for {type(layer).__name__}")
+
+    # -- execution -----------------------------------------------------
+    def run(self, x: np.ndarray | None = None) -> np.ndarray:
+        """Execute the graph; returns the output tensor.
+
+        Raises :class:`ValueError` when any intermediate tensor's shape
+        disagrees with the IR's shape inference -- that's the property
+        the test suite checks.
+        """
+        shape = self.graph.input_shape
+        if x is None:
+            x = self.rng.standard_normal(
+                (shape.c, shape.h, shape.w)
+            ).astype(np.float32)
+        expected_in = (shape.c, shape.h, shape.w)
+        if x.shape != expected_in:
+            raise ValueError(
+                f"input shape {x.shape} != graph input {expected_in}"
+            )
+        values: dict[str, np.ndarray] = {
+            self.graph.layers[0].name: x
+        }
+        for layer in self.graph.compute_layers:
+            inputs = [
+                values[p.name] for p in self.graph.predecessors(layer)
+            ]
+            out = self._apply(layer, inputs)
+            declared = layer.out_shape
+            assert declared is not None
+            expected = (
+                (declared.c,)
+                if declared.is_flat and out.ndim == 1
+                else (declared.c, declared.h, declared.w)
+            )
+            if tuple(out.shape) != expected:
+                raise ValueError(
+                    f"layer {layer.name}: numeric shape {out.shape} "
+                    f"disagrees with inferred {expected}"
+                )
+            values[layer.name] = out
+        return values[self.graph.output_layer.name]

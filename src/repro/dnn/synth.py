@@ -1,0 +1,90 @@
+"""Synthetic DNN generation for fuzzing the pipeline.
+
+Real workloads come from :mod:`repro.dnn.zoo`; these generators build
+*random but valid* networks (chains, residual stacks, inception-style
+branches) so property tests can sweep the grouping / profiling /
+scheduling pipeline over topologies nobody hand-picked.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Dense,
+    GlobalAvgPool2d,
+    Layer,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+
+
+def synth_dnn(
+    seed: int,
+    *,
+    min_blocks: int = 2,
+    max_blocks: int = 6,
+    input_hw: int = 32,
+    name: str | None = None,
+) -> DNNGraph:
+    """Generate a random valid classification network.
+
+    Each block is randomly a plain conv stack, a residual block, or a
+    two-branch inception-style module, optionally followed by pooling;
+    a GAP + Dense head closes the graph.  The same seed always yields
+    the same network.
+    """
+    rng = random.Random(seed)
+    g = DNNGraph(name or f"synth{seed}", TensorShape(3, input_hw, input_hw))
+    channels = rng.choice([8, 16, 32])
+    last: Layer = g.add(Conv2d("stem", channels, 3, padding=1))
+    last = g.add(Activation("stem_relu"))
+
+    n_blocks = rng.randint(min_blocks, max_blocks)
+    for b in range(n_blocks):
+        kind = rng.choice(["plain", "residual", "branchy"])
+        tag = f"b{b}"
+        if kind == "plain":
+            depth = rng.randint(1, 3)
+            for d in range(depth):
+                g.add(
+                    Conv2d(f"{tag}_c{d}", channels, rng.choice([1, 3]), padding="same")
+                )
+                last = g.add(Activation(f"{tag}_r{d}"))
+        elif kind == "residual":
+            entry = last
+            assert entry.out_shape is not None
+            width = entry.out_shape.c  # skip join needs equal shapes
+            channels = width
+            g.add(
+                Conv2d(f"{tag}_m1", width, 3, padding=1, bias=False),
+                inputs=entry,
+            )
+            g.add(BatchNorm(f"{tag}_bn"))
+            main = g.add(Activation(f"{tag}_mr"))
+            g.add(Add(f"{tag}_add"), inputs=[main, entry])
+            last = g.add(Activation(f"{tag}_out"))
+        else:  # branchy
+            entry = last
+            a = g.add(Conv2d(f"{tag}_a", channels // 2, 1), inputs=entry)
+            g.add(Conv2d(f"{tag}_b1", channels // 2, 1), inputs=entry)
+            bb = g.add(Conv2d(f"{tag}_b2", channels // 2, 3, padding=1))
+            last = g.add(Concat(f"{tag}_cat"), inputs=[a, bb])
+            channels = (channels // 2) * 2
+        if rng.random() < 0.4 and last.out_shape.h >= 4:  # type: ignore[union-attr]
+            last = g.add(MaxPool2d(f"{tag}_pool", 2, 2))
+        if rng.random() < 0.5:
+            channels = min(channels * 2, 128)
+
+    g.add(GlobalAvgPool2d("gap"), inputs=last)
+    g.add(Dense("fc", rng.choice([10, 100])))
+    g.add(Softmax("prob"))
+    g.validate()
+    return g

@@ -1,0 +1,65 @@
+"""AlexNet and CaffeNet.
+
+AlexNet (Krizhevsky et al. 2012) with the original two-column grouped
+convolutions; CaffeNet (Jia et al. 2014) is the single-column variant
+with pooling before normalization.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Dense,
+    Dropout,
+    Flatten,
+    LRN,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_relu
+
+
+def _classifier(g: DNNGraph, num_classes: int) -> None:
+    g.add(Flatten("flatten"))
+    g.add(Dense("fc6", 4096))
+    g.add(Activation("fc6_relu"))
+    g.add(Dropout("fc6_drop"))
+    g.add(Dense("fc7", 4096))
+    g.add(Activation("fc7_relu"))
+    g.add(Dropout("fc7_drop"))
+    g.add(Dense("fc8", num_classes))
+    g.add(Softmax("prob"))
+
+
+def build_alexnet(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("alexnet", TensorShape(3, 227, 227))
+    conv_relu(g, "conv1", 96, 11, stride=4, padding=0)
+    g.add(LRN("norm1"))
+    g.add(MaxPool2d("pool1", 3, 2))
+    conv_relu(g, "conv2", 256, 5, padding=2, groups=2)
+    g.add(LRN("norm2"))
+    g.add(MaxPool2d("pool2", 3, 2))
+    conv_relu(g, "conv3", 384, 3, padding=1)
+    conv_relu(g, "conv4", 384, 3, padding=1, groups=2)
+    conv_relu(g, "conv5", 256, 3, padding=1, groups=2)
+    g.add(MaxPool2d("pool5", 3, 2))
+    _classifier(g, num_classes)
+    return g
+
+
+def build_caffenet(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("caffenet", TensorShape(3, 227, 227))
+    conv_relu(g, "conv1", 96, 11, stride=4, padding=0)
+    g.add(MaxPool2d("pool1", 3, 2))
+    g.add(LRN("norm1"))
+    conv_relu(g, "conv2", 256, 5, padding=2)
+    g.add(MaxPool2d("pool2", 3, 2))
+    g.add(LRN("norm2"))
+    conv_relu(g, "conv3", 384, 3, padding=1)
+    conv_relu(g, "conv4", 384, 3, padding=1)
+    conv_relu(g, "conv5", 256, 3, padding=1)
+    g.add(MaxPool2d("pool5", 3, 2))
+    _classifier(g, num_classes)
+    return g

@@ -1,0 +1,58 @@
+"""Shared building blocks for the model zoo."""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import Activation, BatchNorm, Conv2d, Layer
+
+
+def conv_relu(
+    g: DNNGraph,
+    name: str,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int | str = "same",
+    groups: int = 1,
+    inputs: str | Layer | None = None,
+) -> Layer:
+    """conv -> relu, the pre-BN era unit (AlexNet/VGG/GoogleNet)."""
+    g.add(
+        Conv2d(name, out_channels, kernel, stride, padding, groups=groups),
+        inputs=inputs,
+    )
+    return g.add(Activation(f"{name}_relu"))
+
+
+def conv_bn_relu(
+    g: DNNGraph,
+    name: str,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+    padding: int | str = "same",
+    groups: int = 1,
+    inputs: str | Layer | None = None,
+    relu: bool = True,
+) -> Layer:
+    """conv -> batchnorm [-> relu], the modern unit (ResNet & later).
+
+    Convolutions followed by BN carry no bias, matching the reference
+    implementations.
+    """
+    g.add(
+        Conv2d(
+            name,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups=groups,
+            bias=False,
+        ),
+        inputs=inputs,
+    )
+    last = g.add(BatchNorm(f"{name}_bn"))
+    if relu:
+        last = g.add(Activation(f"{name}_relu"))
+    return last

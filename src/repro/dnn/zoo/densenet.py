@@ -1,0 +1,52 @@
+"""DenseNet-121 (Huang et al. 2017), growth rate 32, compression 0.5."""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    AvgPool2d,
+    Concat,
+    Dense,
+    GlobalAvgPool2d,
+    Layer,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_bn_relu
+
+_GROWTH = 32
+_BLOCKS = (6, 12, 24, 16)
+
+
+def _dense_layer(g: DNNGraph, name: str, entry: Layer) -> Layer:
+    """BN-ReLU-Conv1x1(4k) -> BN-ReLU-Conv3x3(k), concatenated onto input.
+
+    We use the analytically equivalent conv->bn->relu ordering the rest
+    of the zoo shares; the op mix and tensor traffic are identical.
+    """
+    conv_bn_relu(g, f"{name}_bottleneck", 4 * _GROWTH, 1, inputs=entry)
+    new = conv_bn_relu(g, f"{name}_conv", _GROWTH, 3, 1, 1)
+    return g.add(Concat(f"{name}_cat"), inputs=[entry, new])
+
+
+def _transition(g: DNNGraph, name: str, entry: Layer) -> Layer:
+    assert entry.out_shape is not None
+    half = entry.out_shape.c // 2
+    conv_bn_relu(g, f"{name}_conv", half, 1, inputs=entry)
+    return g.add(AvgPool2d(f"{name}_pool", 2, 2))
+
+
+def build_densenet121(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("densenet121", TensorShape(3, 224, 224))
+    conv_bn_relu(g, "conv1", 64, 7, 2, 3)
+    last: Layer = g.add(MaxPool2d("pool1", 3, 2, padding=1))
+    for block, repeats in enumerate(_BLOCKS, start=1):
+        for i in range(repeats):
+            last = _dense_layer(g, f"dense{block}_{i}", last)
+        if block < len(_BLOCKS):
+            last = _transition(g, f"trans{block}", last)
+    g.add(GlobalAvgPool2d("avgpool"), inputs=last)
+    g.add(Dense("fc", num_classes))
+    g.add(Softmax("prob"))
+    return g

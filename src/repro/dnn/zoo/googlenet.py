@@ -1,0 +1,75 @@
+"""GoogleNet / Inception-v1 (Szegedy et al. 2015).
+
+The nine inception modules (3a..5b) with the original channel splits.
+Each module becomes one indivisible linear segment under grouping,
+which is how the paper's Table 2 arrives at ~10 layer groups for the
+140-layer network.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Concat,
+    Dense,
+    Dropout,
+    GlobalAvgPool2d,
+    Layer,
+    LRN,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_relu
+
+#: inception module channel configs:
+#: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj)
+_MODULES: dict[str, tuple[int, int, int, int, int, int]] = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(g: DNNGraph, tag: str, entry: Layer) -> Layer:
+    c1, c3r, c3, c5r, c5, cp = _MODULES[tag]
+    b1 = conv_relu(g, f"inc{tag}_1x1", c1, 1, inputs=entry)
+    conv_relu(g, f"inc{tag}_3x3r", c3r, 1, inputs=entry)
+    b3 = conv_relu(g, f"inc{tag}_3x3", c3, 3, padding=1)
+    conv_relu(g, f"inc{tag}_5x5r", c5r, 1, inputs=entry)
+    b5 = conv_relu(g, f"inc{tag}_5x5", c5, 5, padding=2)
+    g.add(MaxPool2d(f"inc{tag}_pool", 3, 1, padding=1), inputs=entry)
+    bp = conv_relu(g, f"inc{tag}_poolproj", cp, 1)
+    return g.add(Concat(f"inc{tag}_out"), inputs=[b1, b3, b5, bp])
+
+
+def build_googlenet(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("googlenet", TensorShape(3, 224, 224))
+    conv_relu(g, "conv1", 64, 7, stride=2, padding=3)
+    g.add(MaxPool2d("pool1", 3, 2, padding="same_ceil"))
+    g.add(LRN("norm1"))
+    conv_relu(g, "conv2_red", 64, 1)
+    conv_relu(g, "conv2", 192, 3, padding=1)
+    g.add(LRN("norm2"))
+    last: Layer = g.add(MaxPool2d("pool2", 3, 2, padding="same_ceil"))
+
+    last = _inception(g, "3a", last)
+    last = _inception(g, "3b", last)
+    last = g.add(MaxPool2d("pool3", 3, 2, padding="same_ceil"), inputs=last)
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        last = _inception(g, tag, last)
+    last = g.add(MaxPool2d("pool4", 3, 2, padding="same_ceil"), inputs=last)
+    last = _inception(g, "5a", last)
+    last = _inception(g, "5b", last)
+
+    g.add(GlobalAvgPool2d("avgpool"), inputs=last)
+    g.add(Dropout("drop"))
+    g.add(Dense("fc", num_classes))
+    g.add(Softmax("prob"))
+    return g

@@ -1,0 +1,210 @@
+"""Inception-v4 and Inception-ResNet-v2 (Szegedy et al. 2017).
+
+Both share the Inception-v4 stem.  Inception-ResNet-v2 is the paper's
+``Inc-res-v2`` workload -- the largest network in the evaluation set
+(the paper notes the solver needs ~10 s for its layer count).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    AvgPool2d,
+    Concat,
+    Dense,
+    Dropout,
+    GlobalAvgPool2d,
+    Layer,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_bn_relu
+
+
+def _stem(g: DNNGraph) -> Layer:
+    """Inception-v4 stem: 299x299x3 -> 35x35x384."""
+    conv_bn_relu(g, "stem_c1", 32, 3, 2, "valid")
+    conv_bn_relu(g, "stem_c2", 32, 3, 1, "valid")
+    entry = conv_bn_relu(g, "stem_c3", 64, 3, 1, "same")
+    pool = g.add(MaxPool2d("stem_p1", 3, 2, padding="valid"), inputs=entry)
+    conv = conv_bn_relu(g, "stem_c4", 96, 3, 2, "valid", inputs=entry)
+    entry = g.add(Concat("stem_cat1"), inputs=[pool, conv])
+
+    conv_bn_relu(g, "stem_a1", 64, 1, inputs=entry)
+    left = conv_bn_relu(g, "stem_a2", 96, 3, 1, "valid")
+    conv_bn_relu(g, "stem_b1", 64, 1, inputs=entry)
+    conv_bn_relu(g, "stem_b2", 64, (1, 7))
+    conv_bn_relu(g, "stem_b3", 64, (7, 1))
+    right = conv_bn_relu(g, "stem_b4", 96, 3, 1, "valid")
+    entry = g.add(Concat("stem_cat2"), inputs=[left, right])
+
+    conv = conv_bn_relu(g, "stem_c5", 192, 3, 2, "valid", inputs=entry)
+    pool = g.add(MaxPool2d("stem_p2", 3, 2, padding="valid"), inputs=entry)
+    return g.add(Concat("stem_cat3"), inputs=[conv, pool])
+
+
+def _reduction_a(
+    g: DNNGraph, entry: Layer, k: int, l: int, m: int, n: int
+) -> Layer:
+    """35x35 -> 17x17 reduction, parameterized (k, l, m, n)."""
+    pool = g.add(MaxPool2d("redA_pool", 3, 2, padding="valid"), inputs=entry)
+    b2 = conv_bn_relu(g, "redA_c1", n, 3, 2, "valid", inputs=entry)
+    conv_bn_relu(g, "redA_c2", k, 1, inputs=entry)
+    conv_bn_relu(g, "redA_c3", l, 3, 1, 1)
+    b3 = conv_bn_relu(g, "redA_c4", m, 3, 2, "valid")
+    return g.add(Concat("redA_out"), inputs=[pool, b2, b3])
+
+
+# ---------------------------------------------------------------- v4 ---
+
+
+def _inception_a(g: DNNGraph, i: int, entry: Layer) -> Layer:
+    t = f"incA{i}"
+    g.add(AvgPool2d(f"{t}_ap", 3, 1, padding=1), inputs=entry)
+    b1 = conv_bn_relu(g, f"{t}_b1", 96, 1)
+    b2 = conv_bn_relu(g, f"{t}_b2", 96, 1, inputs=entry)
+    conv_bn_relu(g, f"{t}_b3a", 64, 1, inputs=entry)
+    b3 = conv_bn_relu(g, f"{t}_b3b", 96, 3, 1, 1)
+    conv_bn_relu(g, f"{t}_b4a", 64, 1, inputs=entry)
+    conv_bn_relu(g, f"{t}_b4b", 96, 3, 1, 1)
+    b4 = conv_bn_relu(g, f"{t}_b4c", 96, 3, 1, 1)
+    return g.add(Concat(f"{t}_out"), inputs=[b1, b2, b3, b4])
+
+
+def _inception_b(g: DNNGraph, i: int, entry: Layer) -> Layer:
+    t = f"incB{i}"
+    g.add(AvgPool2d(f"{t}_ap", 3, 1, padding=1), inputs=entry)
+    b1 = conv_bn_relu(g, f"{t}_b1", 128, 1)
+    b2 = conv_bn_relu(g, f"{t}_b2", 384, 1, inputs=entry)
+    conv_bn_relu(g, f"{t}_b3a", 192, 1, inputs=entry)
+    conv_bn_relu(g, f"{t}_b3b", 224, (1, 7))
+    b3 = conv_bn_relu(g, f"{t}_b3c", 256, (7, 1))
+    conv_bn_relu(g, f"{t}_b4a", 192, 1, inputs=entry)
+    conv_bn_relu(g, f"{t}_b4b", 192, (1, 7))
+    conv_bn_relu(g, f"{t}_b4c", 224, (7, 1))
+    conv_bn_relu(g, f"{t}_b4d", 224, (1, 7))
+    b4 = conv_bn_relu(g, f"{t}_b4e", 256, (7, 1))
+    return g.add(Concat(f"{t}_out"), inputs=[b1, b2, b3, b4])
+
+
+def _reduction_b_v4(g: DNNGraph, entry: Layer) -> Layer:
+    pool = g.add(MaxPool2d("redB_pool", 3, 2, padding="valid"), inputs=entry)
+    conv_bn_relu(g, "redB_c1", 192, 1, inputs=entry)
+    b2 = conv_bn_relu(g, "redB_c2", 192, 3, 2, "valid")
+    conv_bn_relu(g, "redB_c3", 256, 1, inputs=entry)
+    conv_bn_relu(g, "redB_c4", 256, (1, 7))
+    conv_bn_relu(g, "redB_c5", 320, (7, 1))
+    b3 = conv_bn_relu(g, "redB_c6", 320, 3, 2, "valid")
+    return g.add(Concat("redB_out"), inputs=[pool, b2, b3])
+
+
+def _inception_c(g: DNNGraph, i: int, entry: Layer) -> Layer:
+    t = f"incC{i}"
+    g.add(AvgPool2d(f"{t}_ap", 3, 1, padding=1), inputs=entry)
+    b1 = conv_bn_relu(g, f"{t}_b1", 256, 1)
+    b2 = conv_bn_relu(g, f"{t}_b2", 256, 1, inputs=entry)
+    b3_stem = conv_bn_relu(g, f"{t}_b3a", 384, 1, inputs=entry)
+    b3l = conv_bn_relu(g, f"{t}_b3b", 256, (1, 3), inputs=b3_stem)
+    b3r = conv_bn_relu(g, f"{t}_b3c", 256, (3, 1), inputs=b3_stem)
+    conv_bn_relu(g, f"{t}_b4a", 384, 1, inputs=entry)
+    conv_bn_relu(g, f"{t}_b4b", 448, (1, 3))
+    b4_stem = conv_bn_relu(g, f"{t}_b4c", 512, (3, 1))
+    b4l = conv_bn_relu(g, f"{t}_b4d", 256, (3, 1), inputs=b4_stem)
+    b4r = conv_bn_relu(g, f"{t}_b4e", 256, (1, 3), inputs=b4_stem)
+    return g.add(Concat(f"{t}_out"), inputs=[b1, b2, b3l, b3r, b4l, b4r])
+
+
+def build_inception_v4(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("inception_v4", TensorShape(3, 299, 299))
+    last = _stem(g)
+    for i in range(4):
+        last = _inception_a(g, i, last)
+    last = _reduction_a(g, last, 192, 224, 256, 384)
+    for i in range(7):
+        last = _inception_b(g, i, last)
+    last = _reduction_b_v4(g, last)
+    for i in range(3):
+        last = _inception_c(g, i, last)
+    g.add(GlobalAvgPool2d("avgpool"), inputs=last)
+    g.add(Dropout("drop"))
+    g.add(Dense("fc", num_classes))
+    g.add(Softmax("prob"))
+    return g
+
+
+# ------------------------------------------------------- resnet-v2 ---
+
+
+def _ir_block(
+    g: DNNGraph,
+    tag: str,
+    entry: Layer,
+    branches: list[list[tuple[int, int | tuple[int, int]]]],
+) -> Layer:
+    """Inception-ResNet block: branches -> concat -> 1x1 up -> add -> relu.
+
+    Each branch is a list of (channels, kernel) conv specs.
+    """
+    outs: list[Layer] = []
+    for bi, branch in enumerate(branches):
+        last: Layer = entry
+        for ci, (channels, kernel) in enumerate(branch):
+            last = conv_bn_relu(
+                g, f"{tag}_b{bi}c{ci}", channels, kernel, inputs=last
+            )
+        outs.append(last)
+    cat = g.add(Concat(f"{tag}_cat"), inputs=outs)
+    assert entry.out_shape is not None
+    up = conv_bn_relu(
+        g, f"{tag}_up", entry.out_shape.c, 1, inputs=cat, relu=False
+    )
+    g.add(Add(f"{tag}_add"), inputs=[up, entry])
+    return g.add(Activation(f"{tag}_relu"))
+
+
+def _reduction_b_ir(g: DNNGraph, entry: Layer) -> Layer:
+    pool = g.add(MaxPool2d("redB_pool", 3, 2, padding="valid"), inputs=entry)
+    conv_bn_relu(g, "redB_c1", 256, 1, inputs=entry)
+    b2 = conv_bn_relu(g, "redB_c2", 384, 3, 2, "valid")
+    conv_bn_relu(g, "redB_c3", 256, 1, inputs=entry)
+    b3 = conv_bn_relu(g, "redB_c4", 288, 3, 2, "valid")
+    conv_bn_relu(g, "redB_c5", 256, 1, inputs=entry)
+    conv_bn_relu(g, "redB_c6", 288, 3, 1, 1)
+    b4 = conv_bn_relu(g, "redB_c7", 320, 3, 2, "valid")
+    return g.add(Concat("redB_out"), inputs=[pool, b2, b3, b4])
+
+
+def build_inception_resnet_v2(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("inception_resnet_v2", TensorShape(3, 299, 299))
+    last = _stem(g)
+    for i in range(10):
+        last = _ir_block(
+            g,
+            f"irA{i}",
+            last,
+            [[(32, 1)], [(32, 1), (32, 3)], [(32, 1), (48, 3), (64, 3)]],
+        )
+    last = _reduction_a(g, last, 256, 256, 384, 384)
+    for i in range(20):
+        last = _ir_block(
+            g,
+            f"irB{i}",
+            last,
+            [[(192, 1)], [(128, 1), (160, (1, 7)), (192, (7, 1))]],
+        )
+    last = _reduction_b_ir(g, last)
+    for i in range(10):
+        last = _ir_block(
+            g,
+            f"irC{i}",
+            last,
+            [[(192, 1)], [(192, 1), (224, (1, 3)), (256, (3, 1))]],
+        )
+    g.add(GlobalAvgPool2d("avgpool"), inputs=last)
+    g.add(Dropout("drop"))
+    g.add(Dense("fc", num_classes))
+    g.add(Softmax("prob"))
+    return g

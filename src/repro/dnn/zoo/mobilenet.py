@@ -1,0 +1,50 @@
+"""MobileNet v1 (Howard et al. 2017), width multiplier 1.0."""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    BatchNorm,
+    Dense,
+    DepthwiseConv2d,
+    GlobalAvgPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_bn_relu
+
+#: (stride, output channels of the pointwise conv) per separable block
+_BLOCKS = (
+    (1, 64),
+    (2, 128),
+    (1, 128),
+    (2, 256),
+    (1, 256),
+    (2, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (1, 512),
+    (2, 1024),
+    (1, 1024),
+)
+
+
+def _separable(g: DNNGraph, name: str, stride: int, out_channels: int) -> None:
+    g.add(DepthwiseConv2d(f"{name}_dw", 3, stride, "same", bias=False))
+    g.add(BatchNorm(f"{name}_dw_bn"))
+    g.add(Activation(f"{name}_dw_relu", "relu6"))
+    conv_bn_relu(g, f"{name}_pw", out_channels, 1)
+
+
+def build_mobilenet_v1(num_classes: int = 1000) -> DNNGraph:
+    g = DNNGraph("mobilenet_v1", TensorShape(3, 224, 224))
+    conv_bn_relu(g, "conv1", 32, 3, 2, "same")
+    for i, (stride, channels) in enumerate(_BLOCKS, start=1):
+        _separable(g, f"sep{i}", stride, channels)
+    g.add(GlobalAvgPool2d("avgpool"))
+    g.add(Dense("fc", num_classes))
+    g.add(Softmax("prob"))
+    return g

@@ -1,0 +1,111 @@
+"""ResNet family (He et al. 2016) and an FCN segmentation head on
+ResNet-18 (Long et al. 2015), the paper's ``FC_ResN18`` workload.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    Conv2d,
+    Deconv2d,
+    Dense,
+    GlobalAvgPool2d,
+    Layer,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_bn_relu
+
+#: stage block counts per depth; bool flags bottleneck blocks
+_CFG: dict[int, tuple[tuple[int, int, int, int], bool]] = {
+    18: ((2, 2, 2, 2), False),
+    34: ((3, 4, 6, 3), False),
+    50: ((3, 4, 6, 3), True),
+    101: ((3, 4, 23, 3), True),
+    152: ((3, 8, 36, 3), True),
+}
+
+_STAGE_WIDTH = (64, 128, 256, 512)
+
+
+def _basic_block(
+    g: DNNGraph, name: str, entry: Layer, channels: int, stride: int
+) -> Layer:
+    main = conv_bn_relu(g, f"{name}_conv1", channels, 3, stride, 1, inputs=entry)
+    main = conv_bn_relu(g, f"{name}_conv2", channels, 3, 1, 1, relu=False)
+    skip = entry
+    if stride != 1 or entry.out_shape.c != channels:  # type: ignore[union-attr]
+        skip = conv_bn_relu(
+            g, f"{name}_down", channels, 1, stride, 0, inputs=entry, relu=False
+        )
+    out = g.add(Add(f"{name}_add"), inputs=[main, skip])
+    return g.add(Activation(f"{name}_relu"))
+
+
+def _bottleneck_block(
+    g: DNNGraph, name: str, entry: Layer, channels: int, stride: int
+) -> Layer:
+    expanded = channels * 4
+    main = conv_bn_relu(g, f"{name}_conv1", channels, 1, 1, 0, inputs=entry)
+    main = conv_bn_relu(g, f"{name}_conv2", channels, 3, stride, 1)
+    main = conv_bn_relu(g, f"{name}_conv3", expanded, 1, 1, 0, relu=False)
+    skip = entry
+    if stride != 1 or entry.out_shape.c != expanded:  # type: ignore[union-attr]
+        skip = conv_bn_relu(
+            g, f"{name}_down", expanded, 1, stride, 0, inputs=entry, relu=False
+        )
+    out = g.add(Add(f"{name}_add"), inputs=[main, skip])
+    return g.add(Activation(f"{name}_relu"))
+
+
+def _backbone(name: str, depth: int) -> tuple[DNNGraph, Layer]:
+    blocks, bottleneck = _CFG[depth]
+    g = DNNGraph(name, TensorShape(3, 224, 224))
+    conv_bn_relu(g, "conv1", 64, 7, 2, 3)
+    last: Layer = g.add(MaxPool2d("pool1", 3, 2, padding=1))
+    make = _bottleneck_block if bottleneck else _basic_block
+    for stage, (count, width) in enumerate(zip(blocks, _STAGE_WIDTH), start=2):
+        for i in range(count):
+            stride = 2 if (i == 0 and stage > 2) else 1
+            last = make(g, f"res{stage}_{i}", last, width, stride)
+    return g, last
+
+
+def _build_resnet(depth: int, num_classes: int = 1000) -> DNNGraph:
+    g, last = _backbone(f"resnet{depth}", depth)
+    g.add(GlobalAvgPool2d("avgpool"), inputs=last)
+    g.add(Dense("fc", num_classes))
+    g.add(Softmax("prob"))
+    return g
+
+
+def build_resnet18(num_classes: int = 1000) -> DNNGraph:
+    return _build_resnet(18, num_classes)
+
+
+def build_resnet50(num_classes: int = 1000) -> DNNGraph:
+    return _build_resnet(50, num_classes)
+
+
+def build_resnet101(num_classes: int = 1000) -> DNNGraph:
+    return _build_resnet(101, num_classes)
+
+
+def build_resnet152(num_classes: int = 1000) -> DNNGraph:
+    return _build_resnet(152, num_classes)
+
+
+def build_fcn_resnet18(num_classes: int = 21) -> DNNGraph:
+    """Fully convolutional segmentation network on a ResNet-18 backbone.
+
+    A 1x1 score conv followed by a single 32x bilinear-style transposed
+    convolution back to input resolution (FCN-32s head).
+    """
+    g, last = _backbone("fcn_resnet18", 18)
+    g.add(Conv2d("score", num_classes, 1, padding=0), inputs=last)
+    g.add(Deconv2d("upscore", num_classes, 64, 32, bias=False))
+    g.add(Softmax("prob"))
+    return g

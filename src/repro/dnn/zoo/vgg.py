@@ -1,0 +1,47 @@
+"""VGG-16 and VGG-19 (Simonyan & Zisserman 2014, configurations D/E)."""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+from repro.dnn.zoo.common import conv_relu
+
+#: (block channels, convs per block) for the five VGG stages
+_CFG = {
+    "vgg16": ((64, 2), (128, 2), (256, 3), (512, 3), (512, 3)),
+    "vgg19": ((64, 2), (128, 2), (256, 4), (512, 4), (512, 4)),
+}
+
+
+def _build_vgg(name: str, num_classes: int) -> DNNGraph:
+    g = DNNGraph(name, TensorShape(3, 224, 224))
+    for stage, (channels, repeats) in enumerate(_CFG[name], start=1):
+        for i in range(1, repeats + 1):
+            conv_relu(g, f"conv{stage}_{i}", channels, 3, padding=1)
+        g.add(MaxPool2d(f"pool{stage}", 2, 2))
+    g.add(Flatten("flatten"))
+    g.add(Dense("fc6", 4096))
+    g.add(Activation("fc6_relu"))
+    g.add(Dropout("fc6_drop"))
+    g.add(Dense("fc7", 4096))
+    g.add(Activation("fc7_relu"))
+    g.add(Dropout("fc7_drop"))
+    g.add(Dense("fc8", num_classes))
+    g.add(Softmax("prob"))
+    return g
+
+
+def build_vgg16(num_classes: int = 1000) -> DNNGraph:
+    return _build_vgg("vgg16", num_classes)
+
+
+def build_vgg19(num_classes: int = 1000) -> DNNGraph:
+    return _build_vgg("vgg19", num_classes)

@@ -1,0 +1,27 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+Each module exposes a ``run(...)`` function returning structured rows
+plus a ``format_table(rows)`` helper; the pytest-benchmark harness in
+``benchmarks/`` and the EXPERIMENTS.md generator both consume these.
+
+=================  =================================================
+module             paper artifact
+=================  =================================================
+fig1_case_study    Fig. 1  (serial / naive / HaX-CoNN case study)
+table2_layer_groups Table 2 (GoogleNet layer-group profile)
+fig3_emc_sweep     Fig. 3  (EMC utilization vs input/filter size)
+fig4_intervals     Fig. 4  (contention-interval illustration)
+table5_standalone  Table 5 (standalone runtimes, paper vs model)
+fig5_scenario1     Fig. 5  (same-DNN throughput, 4 schedulers)
+table6_scenarios   Table 6 (10 experiments, scenarios 2-4)
+fig6_slowdown      Fig. 6  (GoogleNet slowdown under co-running DNNs)
+fig7_dynamic       Fig. 7  (D-HaX-CoNN convergence)
+table7_overhead    Table 7 (solver co-run overhead)
+table8_exhaustive  Table 8 (all-pairs matrix on Orin)
+ablations          design-choice ablation studies (DESIGN.md section 5)
+=================  =================================================
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,142 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+1. **Contention model** -- the same optimal solver with (a) the fitted
+   PCCS surface, (b) the analytic oracle, (c) no contention model.
+   Isolates the paper's central claim from solver quality.
+2. **Transition-cost modeling** on/off (the Herald-vs-H2H axis) in the
+   same solver.
+3. **Decoupled PCCS accuracy** -- PCCS-vs-oracle slowdown error across
+   the query space (the cost of avoiding pairwise profiling).
+4. **Resource-constrained timeline** on/off -- the chain-sum timeline
+   of Eq. 4 plus Eq. 9 versus the queue-aware timeline the runtime
+   actually exhibits.
+5. **Anytime value ordering** -- bound-ordered versus unordered
+   branch-and-bound: time/nodes to first incumbent within 5% of the
+   optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contention import AnalyticShareModel, NoContentionModel
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.experiments.common import format_table, get_db
+from repro.runtime.executor import run_schedule
+from repro.soc.platform import get_platform
+
+DEFAULT_WORKLOAD = ("vgg19", "resnet152")
+
+
+def contention_model_ablation(
+    platform_name: str = "xavier",
+    pair: tuple[str, str] = DEFAULT_WORKLOAD,
+) -> list[dict[str, object]]:
+    """Ablation 1+4: same solver, different cost-model ingredients."""
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    workload = Workload.concurrent(*pair, objective="latency")
+    variants = {
+        "pccs": {},
+        "oracle": {"contention_model": AnalyticShareModel(platform)},
+        "no-contention": {"contention_model": NoContentionModel()},
+        "no-transitions": {"include_transitions": False},
+        "chain-timeline": {"resource_constrained": False},
+    }
+    rows: list[dict[str, object]] = []
+    for label, overrides in variants.items():
+        scheduler = HaXCoNN(platform, db=db, **overrides)  # type: ignore[arg-type]
+        result = scheduler.schedule(workload)
+        execution = run_schedule(result, platform)
+        rows.append(
+            {
+                "variant": label,
+                "predicted_ms": result.predicted.makespan * 1e3,
+                "measured_ms": execution.latency_ms,
+                "misprediction_pct": abs(
+                    result.predicted.makespan * 1e3 - execution.latency_ms
+                )
+                / execution.latency_ms
+                * 100,
+            }
+        )
+    return rows
+
+
+def pccs_accuracy_ablation(
+    platform_name: str = "xavier", grid: int = 12
+) -> dict[str, float]:
+    """Ablation 3: decoupled PCCS vs the analytic oracle."""
+    platform = get_platform(platform_name)
+    pccs = get_db(platform_name).pccs
+    oracle = AnalyticShareModel(platform)
+    bw = platform.dram_bandwidth
+    errs = []
+    for own in np.linspace(0.05, 0.9, grid):
+        for ext in np.linspace(0.05, 0.9, grid):
+            p = pccs.slowdown(own * bw, [ext * bw])
+            o = oracle.slowdown(own * bw, [ext * bw])
+            errs.append(abs(p - o) / o)
+    return {
+        "mean_rel_err": float(np.mean(errs)),
+        "max_rel_err": float(np.max(errs)),
+        "profiling_points": float(len(pccs.own_grid) ** 2),
+    }
+
+
+def solver_anytime_ablation(
+    platform_name: str = "xavier",
+    pair: tuple[str, str] = DEFAULT_WORKLOAD,
+) -> list[dict[str, object]]:
+    """Ablation 5: bound-ordered vs unordered branching."""
+    from repro.solver.bnb import BranchAndBound
+    from repro.solver.problem import Problem
+
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    workload = Workload.concurrent(*pair, objective="latency")
+    scheduler = HaXCoNN(platform, db=db)
+    formulation, _ = scheduler.build_formulation(workload)
+    problem = scheduler.build_problem(workload, formulation)
+    unordered = Problem(
+        variables=problem.variables,
+        objective=problem.objective,
+        constraints=problem.constraints,
+        lower_bound=None,
+    )
+    rows: list[dict[str, object]] = []
+    for label, prob in (("bound-ordered", problem), ("unordered", unordered)):
+        result = BranchAndBound().solve(prob)
+        optimum = result.best.objective if result.best else float("nan")
+        within = [
+            i
+            for i in result.incumbents
+            if i.objective <= optimum * 1.05
+        ]
+        rows.append(
+            {
+                "variant": label,
+                "nodes": result.nodes_explored,
+                "wall_s": result.wall_time_s,
+                "first_good_s": within[0].wall_time_s if within else None,
+                "optimum_obj": optimum,
+            }
+        )
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        sorted({k for r in rows for k in r}),
+        title="Ablation results",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(contention_model_ablation()))
+    print()
+    print(pccs_accuracy_ablation())
+    print()
+    print(format_results(solver_anytime_ablation()))

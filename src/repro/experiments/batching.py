@@ -1,0 +1,94 @@
+"""Batching vs. concurrency study (Scenario 1 extension).
+
+Two ways to double a camera pipeline's throughput on an SoC:
+
+* **batch**: run one engine at batch 2 on the fastest DSA (amortizes
+  weight traffic, raises GPU utilization, but doubles the per-frame
+  latency floor and leaves the DLA idle), or
+* **concurrency**: run two batch-1 instances co-scheduled across the
+  DSAs -- the paper's Scenario 1.
+
+For each DNN this experiment measures batch-N GPU throughput against
+HaX-CoNN's N-instance co-schedule, per frame latency included -- the
+trade a deployment engineer actually faces.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.dnn import zoo
+from repro.dnn.grouping import group_layers
+from repro.experiments.common import format_table, get_db, make_scheduler
+from repro.perf.model import group_cost
+from repro.runtime.scenarios import scenario1_same_dnn
+from repro.soc.platform import get_platform
+
+DEFAULT_MODELS = ("googlenet", "resnet101", "inception")
+
+
+def batched_gpu_latency_ms(
+    model: str, platform_name: str, batch: int, *, max_groups: int = 12
+) -> float:
+    """Standalone batch-N latency on the GPU (one engine, no co-run)."""
+    platform = get_platform(platform_name)
+    graph = zoo.build(model)
+    groups = group_layers(graph, max_groups=max_groups)
+    total = 0.0
+    for group in groups:
+        total += group_cost(
+            group, platform.gpu, platform, batch=batch
+        ).time_s
+    return total * 1e3
+
+
+def run(
+    platform_name: str = "orin",
+    models: Sequence[str] = DEFAULT_MODELS,
+    *,
+    batch: int = 2,
+) -> list[dict[str, object]]:
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    rows: list[dict[str, object]] = []
+    for model in models:
+        batched_ms = batched_gpu_latency_ms(model, platform_name, batch)
+        batched_fps = batch * 1e3 / batched_ms
+        scheduler = make_scheduler("haxconn", platform, db=db)
+        concurrent = scenario1_same_dnn(
+            model, scheduler, platform, instances=batch
+        )
+        rows.append(
+            {
+                "model": model,
+                "batched_gpu_fps": batched_fps,
+                "batched_latency_ms": batched_ms,
+                "concurrent_fps": concurrent.fps,
+                "concurrent_latency_ms": concurrent.latency_ms,
+                "winner": (
+                    "batch"
+                    if batched_fps > concurrent.fps
+                    else "concurrency"
+                ),
+            }
+        )
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        [
+            "model",
+            "batched_gpu_fps",
+            "batched_latency_ms",
+            "concurrent_fps",
+            "concurrent_latency_ms",
+            "winner",
+        ],
+        title="Batching vs concurrency (batch-2 GPU vs 2-instance HaX-CoNN)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,140 @@
+"""DSA design-space study: how much accelerator buys concurrency?
+
+The paper observes that platform balance decides the schedule shape:
+on the Snapdragon 865 the GPU and DSP are "more balanced in terms of
+their computation capability", so whole-network splits beat layer
+surgery; on Orin the DLA is far weaker, so HaX-CoNN leans on the GPU.
+This study makes that observation quantitative: sweep the DSA's peak
+throughput (as a fraction of the shipped DLA) on an Orin-class SoC and
+measure where concurrent co-scheduling starts paying off against the
+GPU-only serial baseline -- a question an SoC architect would ask when
+sizing the next DLA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.contention.pccs import calibrate_pccs
+from repro.core.baselines import gpu_only, naive_concurrent
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.experiments.common import format_table
+from repro.profiling.database import ProfileDB
+from repro.runtime.executor import run_schedule
+from repro.soc.platform import Platform, get_platform
+
+DEFAULT_SCALES = (0.5, 1.0, 2.0, 4.0)
+
+
+def scaled_dsa_platform(
+    base: Platform, compute_scale: float, bw_scale: float = 1.0
+) -> Platform:
+    """Copy of ``base`` with the DSA's compute and/or bandwidth scaled.
+
+    The bandwidth share is capped at 0.9 of the controller -- no DSA
+    monopolizes a shared EMC.
+    """
+    if compute_scale <= 0 or bw_scale <= 0:
+        raise ValueError("scales must be positive")
+    accels = tuple(
+        dataclasses.replace(
+            a,
+            peak_flops=a.peak_flops * compute_scale,
+            standalone_bw_frac=min(a.standalone_bw_frac * bw_scale, 0.9),
+        )
+        if a.family in ("dla", "dsp")
+        else a
+        for a in base.accelerators
+    )
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}-dsa{compute_scale:g}x{bw_scale:g}",
+        accelerators=accels,
+    )
+
+
+def run_point(
+    platform: Platform,
+    pair: tuple[str, str],
+    *,
+    max_groups: int = 8,
+) -> dict[str, float]:
+    db = ProfileDB(platform)
+    db._pccs = calibrate_pccs(platform)
+    workload = Workload.concurrent(*pair, objective="latency")
+    scheduler = HaXCoNN(
+        platform, db=db, max_groups=max_groups, max_transitions=1
+    )
+    result = scheduler.schedule(workload)
+    hax = run_schedule(result, platform).latency_ms
+    serial = run_schedule(
+        gpu_only(workload, platform, db=db, max_groups=max_groups),
+        platform,
+    ).latency_ms
+    naive = run_schedule(
+        naive_concurrent(
+            workload, platform, db=db, max_groups=max_groups
+        ),
+        platform,
+    ).latency_ms
+    dsa_groups = sum(
+        1
+        for s in result.schedule
+        for accel in s.assignment
+        if accel != platform.gpu.name
+    )
+    return {
+        "gpu_only_ms": serial,
+        "naive_ms": naive,
+        "haxconn_ms": hax,
+        "gain_vs_serial_pct": (serial - hax) / serial * 100,
+        "dsa_groups_used": float(dsa_groups),
+    }
+
+
+def run(
+    platform_name: str = "orin",
+    pair: tuple[str, str] = ("vgg19", "resnet152"),
+    scales: Sequence[float] = DEFAULT_SCALES,
+) -> list[dict[str, object]]:
+    """Two sweeps: compute-only scaling vs compute+bandwidth scaling.
+
+    The contrast is the study's point: more DSA FLOPs without more
+    memory bandwidth raises the DSA's EMC pressure and can *hurt*
+    concurrency, while scaling both together keeps paying off -- on a
+    shared-memory SoC, bandwidth is the resource that gates
+    co-scheduling.
+    """
+    base = get_platform(platform_name)
+    rows: list[dict[str, object]] = []
+    for mode in ("compute-only", "compute+bw"):
+        for scale in scales:
+            bw_scale = scale if mode == "compute+bw" else 1.0
+            platform = scaled_dsa_platform(base, scale, bw_scale)
+            point = run_point(platform, pair)
+            rows.append(
+                {"mode": mode, "dsa_scale": scale, **point}
+            )
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        [
+            "mode",
+            "dsa_scale",
+            "gpu_only_ms",
+            "naive_ms",
+            "haxconn_ms",
+            "gain_vs_serial_pct",
+            "dsa_groups_used",
+        ],
+        title="DSA design space: concurrency payoff vs DSA capability",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

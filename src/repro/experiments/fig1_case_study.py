@@ -1,0 +1,54 @@
+"""Fig. 1: three ways of running VGG-19 + ResNet-101 on Xavier AGX.
+
+Case 1 -- serial execution on the GPU (paper: 11.3 ms cumulative),
+Case 2 -- naive concurrent GPU & DLA (paper: 10.6 ms, only a slight
+improvement because the DLA lags and the two contend for memory),
+Case 3 -- HaX-CoNN's layer-level split (paper: clearly faster, with
+one transition per DNN).
+"""
+
+from __future__ import annotations
+
+from repro.core.workload import Workload
+from repro.experiments.common import format_table, get_db, make_scheduler
+from repro.runtime.executor import run_schedule
+from repro.soc.platform import get_platform
+
+
+def run(platform_name: str = "xavier") -> list[dict[str, object]]:
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    workload = Workload.concurrent("vgg19", "resnet101", objective="latency")
+    rows: list[dict[str, object]] = []
+    cases = [
+        ("Case 1: serial GPU", "gpu_only"),
+        ("Case 2: naive GPU & DLA", "naive"),
+        ("Case 3: HaX-CoNN split", "haxconn"),
+    ]
+    for label, scheduler_name in cases:
+        scheduler = make_scheduler(scheduler_name, platform, db=db)
+        result = scheduler(workload)
+        execution = run_schedule(result, platform)
+        rows.append(
+            {
+                "case": label,
+                "latency_ms": execution.latency_ms,
+                "transitions": result.schedule.total_transitions,
+                "schedule": " | ".join(
+                    s.describe() for s in result.schedule
+                ),
+            }
+        )
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        ["case", "latency_ms", "transitions", "schedule"],
+        title="Fig. 1 case study: VGG-19 + ResNet-101 on Xavier AGX",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,70 @@
+"""Fig. 3: EMC utilization of conv layers vs input and filter size.
+
+Sweeps convolution layers with the paper's input sizes i1-i5
+((64,224,224) ... (64,56,56)) and filter sizes f1-f5 (1x1 ... 5x5) on
+both the GPU and the DLA.  The paper's two observations must hold:
+
+* GPU and DLA utilizations are correlated and roughly proportional
+  (the basis of the four-step black-box estimation), and
+* utilization falls as filter size grows (arithmetic intensity rises).
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.grouping import group_layers
+from repro.dnn.layers import Conv2d
+from repro.dnn.shapes import TensorShape
+from repro.experiments.common import format_table
+from repro.profiling.blackbox import emc_utilization
+from repro.soc.platform import get_platform
+
+#: paper's input sweep: (channels, height, width)
+INPUT_SIZES = (
+    ("i1", TensorShape(64, 224, 224)),
+    ("i2", TensorShape(64, 224, 112)),
+    ("i3", TensorShape(64, 112, 112)),
+    ("i4", TensorShape(64, 112, 56)),
+    ("i5", TensorShape(64, 56, 56)),
+)
+
+#: paper's filter sweep
+FILTER_SIZES = (("f1", 1), ("f2", 2), ("f3", 3), ("f4", 4), ("f5", 5))
+
+
+def _conv_group(shape: TensorShape, kernel: int):
+    graph = DNNGraph(f"conv_k{kernel}", shape)
+    graph.add(Conv2d("conv", 64, kernel, padding="same"))
+    return group_layers(graph)[0]
+
+
+def run(platform_name: str = "xavier") -> list[dict[str, object]]:
+    platform = get_platform(platform_name)
+    gpu, dsa = platform.gpu, platform.dsa
+    rows: list[dict[str, object]] = []
+    for in_label, shape in INPUT_SIZES:
+        for f_label, kernel in FILTER_SIZES:
+            group = _conv_group(shape, kernel)
+            rows.append(
+                {
+                    "input": in_label,
+                    "filter": f_label,
+                    "gpu_util_pct": emc_utilization(group, gpu, platform)
+                    * 100,
+                    "dla_util_pct": emc_utilization(group, dsa, platform)
+                    * 100,
+                }
+            )
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        ["input", "filter", "gpu_util_pct", "dla_util_pct"],
+        title="Fig. 3: EMC utilization of conv layers (GPU vs DLA)",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,75 @@
+"""Fig. 5: Scenario 1 -- two instances of the same DNN, throughput.
+
+Compares GPU-only, naive GPU & DLA, Mensa, and HaX-CoNN on NVIDIA
+Orin for a set of DNNs.  Paper shape expectations:
+
+* HaX-CoNN boosts FPS by up to ~29%,
+* naive concurrent GPU & DLA does *not* always beat GPU-only
+  (shared-memory contention),
+* Mensa yields limited or no improvement (contention-blind greedy).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.common import (
+    SCHEDULER_LABELS,
+    format_table,
+    get_db,
+    make_scheduler,
+)
+from repro.runtime.scenarios import scenario1_same_dnn
+from repro.soc.platform import get_platform
+
+DEFAULT_MODELS = (
+    "googlenet",
+    "resnet50",
+    "resnet101",
+    "inception",
+    "vgg19",
+)
+
+SCHEDULERS = ("gpu_only", "naive", "mensa", "haxconn")
+
+
+def run(
+    platform_name: str = "orin",
+    models: Sequence[str] = DEFAULT_MODELS,
+    schedulers: Sequence[str] = SCHEDULERS,
+) -> list[dict[str, object]]:
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    rows: list[dict[str, object]] = []
+    for model in models:
+        row: dict[str, object] = {"model": model}
+        for name in schedulers:
+            scheduler = make_scheduler(name, platform, db=db)
+            outcome = scenario1_same_dnn(model, scheduler, platform)
+            row[f"{name}_fps"] = outcome.fps
+        best_baseline = max(
+            float(row[f"{name}_fps"])  # type: ignore[arg-type]
+            for name in schedulers
+            if name != "haxconn"
+        )
+        row["improvement_pct"] = (
+            (float(row["haxconn_fps"]) - best_baseline)  # type: ignore[arg-type]
+            / best_baseline
+            * 100
+        )
+        rows.append(row)
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    columns = ["model"] + [f"{s}_fps" for s in SCHEDULERS] + [
+        "improvement_pct"
+    ]
+    title = "Fig. 5: Scenario 1 throughput (2 instances, " + ", ".join(
+        SCHEDULER_LABELS[s] for s in SCHEDULERS
+    )
+    return format_table(rows, columns, title=title + ")")
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

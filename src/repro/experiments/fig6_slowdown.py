@@ -1,0 +1,66 @@
+"""Fig. 6: slowdown of GoogleNet-on-GPU under co-running DNNs-on-DLA.
+
+For each co-runner, measures GoogleNet's contention slowdown relative
+to its standalone GPU execution, (a) under the naive whole-network
+GPU/DLA mapping and (b) under the HaX-CoNN schedule.  Paper claim:
+HaX-CoNN cuts the shared-memory contention slowdown in every pairing
+(abstract: "minimizes memory contention by up to 45%").
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.workload import Workload
+from repro.experiments.common import format_table, get_db, make_scheduler
+from repro.runtime.executor import run_schedule
+from repro.soc.platform import get_platform
+
+DEFAULT_CORUNNERS = (
+    "caffenet",
+    "resnet18",
+    "resnet50",
+    "resnet101",
+    "resnet152",
+    "inception",
+    "vgg19",
+)
+
+
+def run(
+    platform_name: str = "xavier",
+    target: str = "googlenet",
+    corunners: Sequence[str] = DEFAULT_CORUNNERS,
+) -> list[dict[str, object]]:
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    rows: list[dict[str, object]] = []
+    for other in corunners:
+        workload = Workload.concurrent(target, other, objective="latency")
+        row: dict[str, object] = {"corunner": other}
+        for name in ("naive", "haxconn"):
+            scheduler = make_scheduler(name, platform, db=db)
+            result = scheduler(workload)
+            execution = run_schedule(result, platform)
+            row[f"{name}_slowdown"] = execution.stream_slowdown(0)
+        naive_s = float(row["naive_slowdown"])  # type: ignore[arg-type]
+        hax_s = float(row["haxconn_slowdown"])  # type: ignore[arg-type]
+        row["contention_reduction_pct"] = (
+            (naive_s - hax_s) / max(naive_s - 1.0, 1e-9) * 100
+            if naive_s > 1.0
+            else 0.0
+        )
+        rows.append(row)
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        ["corunner", "naive_slowdown", "haxconn_slowdown", "contention_reduction_pct"],
+        title="Fig. 6: GoogleNet-on-GPU slowdown vs co-runner-on-DLA",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

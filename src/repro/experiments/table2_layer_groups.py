@@ -1,0 +1,71 @@
+"""Table 2: execution/transition times of GoogleNet layer groups.
+
+For each of the ~10 layer groups: GPU time, DLA time, the DLA/GPU
+ratio (paper: varies 1.40x-2.02x -- the heterogeneous-affinity signal
+HaX-CoNN exploits), transition times in both directions, and the
+standalone memory throughput share.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table, get_db
+from repro.soc.platform import get_platform
+
+
+def run(
+    platform_name: str = "xavier",
+    model: str = "googlenet",
+    max_groups: int = 10,
+) -> list[dict[str, object]]:
+    platform = get_platform(platform_name)
+    profile = get_db(platform_name).profile(model, max_groups=max_groups)
+    gpu = platform.gpu.name
+    dsa = platform.dsa.name
+    rows: list[dict[str, object]] = []
+    for g in profile.groups:
+        gpu_ms = g.time_s.get(gpu)
+        dsa_ms = g.time_s.get(dsa)
+        rows.append(
+            {
+                "group": g.label,
+                "gpu_ms": None if gpu_ms is None else gpu_ms * 1e3,
+                "dla_ms": None if dsa_ms is None else dsa_ms * 1e3,
+                "ratio": (
+                    dsa_ms / gpu_ms
+                    if gpu_ms and dsa_ms is not None
+                    else None
+                ),
+                "t_g_to_d_ms": (
+                    sum(g.transition_s[(gpu, dsa)]) * 1e3
+                    if (gpu, dsa) in g.transition_s
+                    else None
+                ),
+                "t_d_to_g_ms": (
+                    sum(g.transition_s[(dsa, gpu)]) * 1e3
+                    if (dsa, gpu) in g.transition_s
+                    else None
+                ),
+                "mem_thr_pct": g.emc_util.get(gpu, 0.0) * 100,
+            }
+        )
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        [
+            "group",
+            "gpu_ms",
+            "dla_ms",
+            "ratio",
+            "t_g_to_d_ms",
+            "t_d_to_g_ms",
+            "mem_thr_pct",
+        ],
+        title="Table 2: GoogleNet layer groups on Xavier AGX",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

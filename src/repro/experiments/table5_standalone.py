@@ -1,0 +1,36 @@
+"""Table 5: standalone DNN runtimes -- paper vs calibrated model.
+
+For every (platform, accelerator, model) cell of the paper's Table 5,
+reports the paper's measured milliseconds next to the calibrated
+analytical model's prediction and their ratio.  DLA runs use GPU
+fallback for unsupported groups (TensorRT GPUFallbackMode), and the
+DenseNet/Xavier-DLA cell stays unbuildable, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import format_table
+from repro.perf.calibration import calibration_report
+from repro.soc.platform import get_platform
+
+
+def run(
+    platform_names: tuple[str, ...] = ("orin", "xavier")
+) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for name in platform_names:
+        platform = get_platform(name)
+        rows.extend(calibration_report(platform))
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        ["platform", "accelerator", "model", "paper_ms", "modeled_ms", "ratio"],
+        title="Table 5: standalone runtimes, paper vs calibrated model",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,159 @@
+"""Table 8: exhaustive all-pairs evaluation on AGX Orin.
+
+Every DNN pair from the paper's ten-model set runs concurrently with
+*iteration balancing*: the faster DNN iterates more often so both
+streams finish around the same time (the multi-sensor multi-rate
+setting the paper describes).  For each pair we report the
+best-performing baseline (GPU-only serial, naive in both orientations,
+Herald, H2H) and HaX-CoNN's speedup over it; pairs where HaX-CoNN
+selects the GPU-only fallback print ``x``, matching the paper's
+notation.
+
+The paper's shape expectations:
+
+* HaX-CoNN improves most pairs (paper: 35 of 45) and never loses,
+* every GoogleNet pairing improves (GPU and DLA are closest there),
+* VGG19 pairings mostly stay GPU-only (DLA far too slow on VGG19).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.core.baselines import gpu_only, h2h, herald, naive_concurrent
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload, WorkloadDNN
+from repro.experiments.common import format_table, get_db
+from repro.runtime.executor import run_schedule
+from repro.soc.platform import get_platform
+
+#: the paper's Table 8 model set, in its row order
+DEFAULT_MODELS = (
+    "caffenet",
+    "densenet",
+    "googlenet",
+    "inc-res-v2",
+    "inception",
+    "resnet18",
+    "resnet52",
+    "resnet101",
+    "resnet152",
+    "vgg19",
+)
+
+#: coarser settings keep the 45-pair sweep tractable; the paper's
+#: optimal schedules all use a single transition per DNN
+MAX_GROUPS = 8
+MAX_TRANSITIONS = 1
+
+
+def balanced_repeats(
+    model1: str, model2: str, platform_name: str
+) -> tuple[int, int]:
+    """Iterate the faster DNN more often (paper Section 5.4)."""
+    db = get_db(platform_name)
+    platform = get_platform(platform_name)
+    gpu = platform.gpu.name
+    t1 = db.profile(model1, max_groups=MAX_GROUPS).total_time(gpu)
+    t2 = db.profile(model2, max_groups=MAX_GROUPS).total_time(gpu)
+    if t1 <= 0 or t2 <= 0:
+        return 1, 1
+    ratio = t1 / t2
+    if ratio >= 1:
+        return 1, max(1, min(4, round(ratio)))
+    return max(1, min(4, round(1 / ratio))), 1
+
+
+def run_pair(
+    model1: str, model2: str, platform_name: str = "orin"
+) -> dict[str, object]:
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+    r1, r2 = balanced_repeats(model1, model2, platform_name)
+    second = WorkloadDNN.of(model2, repeats=r2)
+    if model1 == model2 and r1 == r2:
+        second = WorkloadDNN(models=(model2,), repeats=r2, instance=1)
+    workload = Workload(
+        dnns=(WorkloadDNN.of(model1, repeats=r1), second),
+        objective="throughput",
+    )
+    kwargs = dict(db=db, max_groups=MAX_GROUPS)
+    candidates = {
+        "GPU": gpu_only(workload, platform, **kwargs),
+        "G/D": naive_concurrent(workload, platform, **kwargs),
+        "D/G": naive_concurrent(
+            workload,
+            platform,
+            orientation=(platform.dsa.name, platform.gpu.name),
+            **kwargs,
+        ),
+        "Her.": herald(
+            workload, platform, max_transitions=MAX_TRANSITIONS, **kwargs
+        ),
+        "H2H": h2h(
+            workload, platform, max_transitions=MAX_TRANSITIONS, **kwargs
+        ),
+    }
+    measured = {
+        label: run_schedule(result, platform).latency_ms
+        for label, result in candidates.items()
+    }
+    best_label = min(measured, key=measured.__getitem__)
+
+    scheduler = HaXCoNN(
+        platform,
+        db=db,
+        max_groups=MAX_GROUPS,
+        max_transitions=MAX_TRANSITIONS,
+    )
+    hax_result = scheduler.schedule(workload)
+    hax_ms = run_schedule(hax_result, platform).latency_ms
+
+    speedup = measured[best_label] / hax_ms if hax_ms > 0 else float("inf")
+    fell_back = hax_result.schedule.serialized
+    best_naive = min(measured["GPU"], measured["G/D"], measured["D/G"])
+    return {
+        "dnn1": model1,
+        "dnn2": model2,
+        "repeats": f"{r1}:{r2}",
+        "best_baseline": best_label,
+        "best_ms": measured[best_label],
+        "haxconn_ms": hax_ms,
+        "speedup": "x" if fell_back else round(speedup, 2),
+        "speedup_value": 1.0 if fell_back else speedup,
+        "speedup_vs_naive": (
+            1.0 if fell_back else best_naive / hax_ms
+        ),
+        **{f"{label}_ms": ms for label, ms in measured.items()},
+    }
+
+
+def run(
+    models: Sequence[str] = DEFAULT_MODELS,
+    platform_name: str = "orin",
+) -> list[dict[str, object]]:
+    rows = []
+    for m1, m2 in itertools.combinations_with_replacement(models, 2):
+        rows.append(run_pair(m1, m2, platform_name))
+    return rows
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        [
+            "dnn1",
+            "dnn2",
+            "repeats",
+            "best_baseline",
+            "best_ms",
+            "haxconn_ms",
+            "speedup",
+        ],
+        title="Table 8: exhaustive DNN pairs on AGX Orin",
+    )
+
+
+if __name__ == "__main__":
+    print(format_results(run()))

@@ -1,0 +1,28 @@
+"""Analytical per-layer performance model.
+
+Predicts, for any fused unit / layer group on any accelerator of a
+platform, the standalone execution time, the DRAM traffic, and the
+requested memory throughput -- the three quantities the paper's
+profiling step (Sections 3.2-3.3) measures on real hardware.
+"""
+
+from repro.perf.model import (
+    UnitCost,
+    UnsupportedLayerError,
+    unit_cost,
+    group_cost,
+    transition_cost,
+    standalone_latency,
+)
+from repro.perf.calibration import calibrate, TABLE5_REFERENCE_MS
+
+__all__ = [
+    "UnitCost",
+    "UnsupportedLayerError",
+    "unit_cost",
+    "group_cost",
+    "transition_cost",
+    "standalone_latency",
+    "calibrate",
+    "TABLE5_REFERENCE_MS",
+]

@@ -1,0 +1,60 @@
+"""Black-box DSA memory-throughput estimation (paper Section 3.3).
+
+Nsight Compute can report requested memory throughput on the GPU but
+not on the DLA.  The paper's four-step workaround:
+
+1. profile the layer on the GPU and read its requested throughput,
+2. read the *system-level* EMC utilization counter while the layer
+   runs on the GPU and again while it runs on the (black-box) DSA --
+   the EMC counter is outside the DSA, so it is always observable,
+3. estimate the DSA's requested throughput as
+   ``gpu_throughput * emc_util(dsa) / emc_util(gpu)``,
+4. feed the estimate into PCCS.
+
+In this reproduction the EMC counter is the simulator's achieved
+bandwidth, quantized to whole utilization percents the way a hardware
+counter register would be.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.grouping import LayerGroup
+from repro.perf.model import group_cost
+from repro.soc.accelerator import AcceleratorSpec
+from repro.soc.platform import Platform
+
+#: EMC utilization counters report integer percents
+_COUNTER_QUANTUM = 0.01
+
+
+def emc_utilization(
+    group: LayerGroup, accel: AcceleratorSpec, platform: Platform
+) -> float:
+    """System-level EMC utilization while ``group`` runs standalone.
+
+    Quantized to whole percents, like the tegrastats/EMC activity
+    counter the paper reads.
+    """
+    cost = group_cost(group, accel, platform)
+    util = cost.req_bw / platform.dram_bandwidth
+    return round(util / _COUNTER_QUANTUM) * _COUNTER_QUANTUM
+
+
+def estimate_blackbox_bw(
+    group: LayerGroup,
+    gpu: AcceleratorSpec,
+    dsa: AcceleratorSpec,
+    platform: Platform,
+) -> float:
+    """Requested memory throughput of ``group`` on a black-box DSA.
+
+    Combines the GPU-side requested throughput (observable via Nsight)
+    with the ratio of EMC utilization counters (observable for any
+    DSA).  Accurate to counter quantization.
+    """
+    gpu_cost = group_cost(group, gpu, platform)
+    gpu_util = emc_utilization(group, gpu, platform)
+    dsa_util = emc_utilization(group, dsa, platform)
+    if gpu_util <= 0:
+        return 0.0
+    return gpu_cost.req_bw * (dsa_util / gpu_util)

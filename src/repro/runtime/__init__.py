@@ -1,0 +1,33 @@
+"""Concurrent execution runtime on the simulated SoC.
+
+- :mod:`repro.runtime.executor` -- lowers a schedule to simulator
+  tasks (groups, transition flushes/loads, dependencies, per-DSA
+  queues) and executes it; the inter-DNN synchronization the paper
+  implements as a TensorRT plugin is realized as dependency edges,
+- :mod:`repro.runtime.metrics` -- latency / FPS reporting,
+- :mod:`repro.runtime.scenarios` -- drivers for the paper's four
+  evaluation scenarios.
+"""
+
+from repro.runtime.executor import ExecutionResult, run_schedule
+from repro.runtime.gantt import render_prediction, render_timeline
+from repro.runtime.metrics import fps_from_latency, improvement_percent
+from repro.runtime.scenarios import (
+    scenario1_same_dnn,
+    scenario2_parallel,
+    scenario3_pipeline,
+    scenario4_hybrid,
+)
+
+__all__ = [
+    "ExecutionResult",
+    "run_schedule",
+    "render_prediction",
+    "render_timeline",
+    "fps_from_latency",
+    "improvement_percent",
+    "scenario1_same_dnn",
+    "scenario2_parallel",
+    "scenario3_pipeline",
+    "scenario4_hybrid",
+]

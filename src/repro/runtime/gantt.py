@@ -1,0 +1,100 @@
+"""ASCII Gantt rendering of execution timelines.
+
+Renders the per-accelerator occupancy of a
+:class:`~repro.soc.timeline.Timeline` (or a predicted
+:class:`~repro.core.formulation.EvaluationResult`) the way the paper's
+Fig. 1 draws its three execution cases -- one row per DSA, one glyph
+per stream, transitions marked.  Used by the CLI (``haxconn schedule
+--gantt``) and the examples; handy when debugging schedules.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.formulation import EvaluationResult
+from repro.soc.timeline import Timeline
+
+#: glyph per stream index (cycled)
+_GLYPHS = "▓▒░█▚▞"
+_TRANSITION_GLYPH = "*"
+
+
+def _render_rows(
+    rows: dict[str, list[tuple[float, float, str]]],
+    makespan: float,
+    width: int,
+) -> str:
+    """Rows: accel -> list of (start, end, glyph)."""
+    if makespan <= 0:
+        return "(empty timeline)"
+    scale = width / makespan
+    lines = []
+    label_width = max(len(a) for a in rows)
+    for accel in sorted(rows):
+        canvas = [" "] * width
+        for start, end, glyph in rows[accel]:
+            lo = min(int(start * scale), width - 1)
+            hi = min(max(int(end * scale), lo + 1), width)
+            for k in range(lo, hi):
+                canvas[k] = glyph
+        lines.append(f"{accel.rjust(label_width)} |{''.join(canvas)}|")
+    axis = f"{' ' * label_width} 0{' ' * (width - 2)}{makespan * 1e3:.2f} ms"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def render_timeline(
+    timeline: Timeline,
+    *,
+    width: int = 72,
+    legend: Sequence[str] | None = None,
+) -> str:
+    """Render a measured timeline; one glyph per ``dnn`` meta value."""
+    rows: dict[str, list[tuple[float, float, str]]] = {}
+    streams: set[int] = set()
+    for record in timeline.records:
+        dnn = record.meta.get("dnn")
+        role = record.meta.get("role", "group")
+        if isinstance(dnn, int):
+            streams.add(dnn)
+            glyph = (
+                _TRANSITION_GLYPH
+                if role in ("flush", "load")
+                else _GLYPHS[dnn % len(_GLYPHS)]
+            )
+        else:
+            glyph = _GLYPHS[0]
+        rows.setdefault(record.accel, []).append(
+            (record.start, record.end, glyph)
+        )
+    text = _render_rows(rows, timeline.makespan, width)
+    return text + _legend(sorted(streams), legend)
+
+
+def render_prediction(
+    result: EvaluationResult,
+    *,
+    width: int = 72,
+    legend: Sequence[str] | None = None,
+) -> str:
+    """Render a predicted timeline (the scheduler's own view)."""
+    rows: dict[str, list[tuple[float, float, str]]] = {}
+    streams: set[int] = set()
+    for item in result.items:
+        streams.add(item.dnn)
+        rows.setdefault(item.accel, []).append(
+            (item.start, item.end, _GLYPHS[item.dnn % len(_GLYPHS)])
+        )
+    text = _render_rows(rows, result.makespan, width)
+    return text + _legend(sorted(streams), legend)
+
+
+def _legend(streams: Iterable[int], names: Sequence[str] | None) -> str:
+    entries = []
+    for n in streams:
+        label = names[n] if names and n < len(names) else f"stream {n}"
+        entries.append(f"{_GLYPHS[n % len(_GLYPHS)]} {label}")
+    if not entries:
+        return ""
+    return "\n" + "   ".join(entries) + f"   {_TRANSITION_GLYPH} transition"

@@ -1,0 +1,28 @@
+"""Latency / FPS reporting helpers shared by the experiment suite."""
+
+from __future__ import annotations
+
+
+def fps_from_latency(latency_ms: float, frames: int = 1) -> float:
+    """Frames/second from a per-round latency in milliseconds."""
+    if latency_ms <= 0:
+        return float("inf")
+    return frames * 1e3 / latency_ms
+
+
+def improvement_percent(baseline: float, improved: float) -> float:
+    """Percent reduction from ``baseline`` to ``improved``.
+
+    Positive when ``improved`` is smaller (faster); the unit the
+    paper's "Improvement over the best baseline (%)" columns use.
+    """
+    if baseline <= 0:
+        raise ValueError("baseline must be positive")
+    return (baseline - improved) / baseline * 100.0
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Multiplicative speedup, the unit of paper Table 8."""
+    if improved <= 0:
+        raise ValueError("improved time must be positive")
+    return baseline / improved

@@ -1,0 +1,163 @@
+"""Drivers for the paper's four evaluation scenarios (Section 5).
+
+Each driver builds the scenario's workload, invokes a scheduler
+(HaX-CoNN or a baseline), executes the schedule on the simulator, and
+reports the measured latency/FPS.  ``scheduler`` is any callable
+mapping a :class:`~repro.core.workload.Workload` to a
+:class:`~repro.core.haxconn.ScheduleResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.haxconn import ScheduleResult
+from repro.core.schedule import Schedule
+from repro.core.workload import Workload, WorkloadDNN
+from repro.runtime.executor import ExecutionResult, run_schedule
+from repro.soc.platform import Platform
+
+SchedulerFn = Callable[[Workload], ScheduleResult]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Measured result of one scheduler on one scenario."""
+
+    scenario: str
+    workload: Workload
+    schedule: Schedule
+    execution: ExecutionResult
+    #: per-round latency in ms, measured on the simulator
+    latency_ms: float
+    #: frames per second (the paper reports FPS = 1000 / latency)
+    fps: float
+    #: the scheduler's own latency prediction, for misprediction studies
+    predicted_ms: float
+
+    @property
+    def scheduler_name(self) -> str:
+        return str(self.schedule.meta.get("scheduler", "unknown"))
+
+
+def _drive(
+    scenario: str,
+    workload: Workload,
+    scheduler: SchedulerFn,
+    platform: Platform,
+    *,
+    frames_per_round: int = 1,
+    rounds: int = 1,
+) -> ScenarioOutcome:
+    """Schedule, execute, and report per-frame metrics.
+
+    ``rounds`` amortizes steady-state scenarios: a pipelined workload
+    runs several frames per scheduling round, and the reported
+    latency is the per-frame round time (the paper's Lat = 1000/FPS
+    convention).
+    """
+    result = scheduler(workload)
+    execution = run_schedule(result, platform)
+    latency_ms = execution.latency_ms / rounds
+    return ScenarioOutcome(
+        scenario=scenario,
+        workload=workload,
+        schedule=result.schedule,
+        execution=execution,
+        latency_ms=latency_ms,
+        fps=(
+            execution.fps(frames_per_round * rounds)
+            if latency_ms > 0
+            else 0.0
+        ),
+        predicted_ms=result.predicted.makespan * 1e3 / rounds,
+    )
+
+
+def scenario1_same_dnn(
+    model: str,
+    scheduler: SchedulerFn,
+    platform: Platform,
+    *,
+    instances: int = 2,
+) -> ScenarioOutcome:
+    """Scenario 1: N instances of one DNN over consecutive frames,
+    maximizing throughput (paper Fig. 5)."""
+    workload = Workload.concurrent(
+        *([model] * instances), objective="throughput"
+    )
+    return _drive(
+        "scenario1",
+        workload,
+        scheduler,
+        platform,
+        frames_per_round=instances,
+    )
+
+
+def scenario2_parallel(
+    model1: str,
+    model2: str,
+    scheduler: SchedulerFn,
+    platform: Platform,
+    *,
+    objective: str = "latency",
+) -> ScenarioOutcome:
+    """Scenario 2: two different DNNs process the same input in
+    parallel and synchronize afterwards (min-latency)."""
+    workload = Workload.concurrent(model1, model2, objective=objective)
+    return _drive("scenario2", workload, scheduler, platform)
+
+
+def scenario3_pipeline(
+    model1: str,
+    model2: str,
+    scheduler: SchedulerFn,
+    platform: Platform,
+    *,
+    objective: str = "throughput",
+    steady_state_frames: int = 3,
+) -> ScenarioOutcome:
+    """Scenario 3: streaming pipeline -- DNN2 consumes DNN1's output
+    (detection -> tracking), maximizing throughput.
+
+    Several frames flow through the pipeline per scheduling round so
+    frame *k+1* of DNN1 overlaps frame *k* of DNN2 -- the steady
+    state whose throughput the paper reports.
+    """
+    workload = Workload(
+        dnns=(
+            WorkloadDNN.of(model1, repeats=steady_state_frames),
+            WorkloadDNN.of(model2, repeats=steady_state_frames),
+        ),
+        objective=objective,
+        pipeline=((0, 1),),
+    )
+    return _drive(
+        "scenario3",
+        workload,
+        scheduler,
+        platform,
+        rounds=steady_state_frames,
+    )
+
+
+def scenario4_hybrid(
+    chain: Sequence[str],
+    parallel_model: str,
+    scheduler: SchedulerFn,
+    platform: Platform,
+    *,
+    objective: str = "latency",
+) -> ScenarioOutcome:
+    """Scenario 4: a serial DNN chain plus an independent DNN in
+    parallel, minimizing the combined latency."""
+    workload = Workload(
+        dnns=(
+            WorkloadDNN.of(*chain),
+            WorkloadDNN.of(parallel_model),
+        ),
+        objective=objective,
+    )
+    return _drive("scenario4", workload, scheduler, platform)

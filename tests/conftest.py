@@ -1,0 +1,47 @@
+"""Shared fixtures: platforms, profile databases, hypothesis profile."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.profiling.database import ProfileDB
+from repro.soc.platform import get_platform
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def xavier():
+    return get_platform("xavier")
+
+
+@pytest.fixture(scope="session")
+def orin():
+    return get_platform("orin")
+
+
+@pytest.fixture(scope="session")
+def sd865():
+    return get_platform("sd865")
+
+
+@pytest.fixture(scope="session")
+def xavier_db(xavier):
+    return ProfileDB(xavier)
+
+
+@pytest.fixture(scope="session")
+def orin_db(orin):
+    return ProfileDB(orin)
+
+
+@pytest.fixture(scope="session")
+def sd865_db(sd865):
+    return ProfileDB(sd865)

@@ -1,0 +1,157 @@
+"""Baseline schedulers: Table 1's feature axes."""
+
+import pytest
+
+from repro.core.baselines import (
+    BASELINES,
+    gpu_only,
+    h2h,
+    herald,
+    mensa,
+    naive_concurrent,
+)
+from repro.core.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.concurrent("googlenet", "resnet101", objective="latency")
+
+
+KW = dict(max_groups=6)
+
+
+class TestGpuOnly:
+    def test_everything_on_gpu_serialized(self, xavier, xavier_db, workload):
+        result = gpu_only(workload, xavier, db=xavier_db, **KW)
+        assert result.schedule.serialized
+        for s in result.schedule:
+            assert set(s.assignment) == {"gpu"}
+
+    def test_predicted_is_sum_of_standalones(self, xavier, xavier_db, workload):
+        result = gpu_only(workload, xavier, db=xavier_db, **KW)
+        total = sum(
+            p.total_time("gpu") for p in result.formulation.profiles
+        )
+        assert result.predicted.makespan == pytest.approx(total, rel=1e-9)
+
+
+class TestNaive:
+    def test_default_orientation(self, xavier, xavier_db, workload):
+        result = naive_concurrent(workload, xavier, db=xavier_db, **KW)
+        assert set(result.schedule[0].assignment) == {"gpu"}
+        assert "dla" in set(result.schedule[1].assignment)
+
+    def test_swapped_orientation(self, xavier, xavier_db, workload):
+        result = naive_concurrent(
+            workload, xavier, db=xavier_db, orientation=("dla", "gpu"), **KW
+        )
+        assert "dla" in set(result.schedule[0].assignment)
+        assert set(result.schedule[1].assignment) == {"gpu"}
+
+    def test_unsupported_groups_fall_back_to_gpu(self, xavier, xavier_db):
+        workload = Workload.concurrent(
+            "resnet18", "googlenet", objective="latency"
+        )
+        result = naive_concurrent(workload, xavier, db=xavier_db, **KW)
+        profile = result.formulation.profiles[1]
+        for g, accel in enumerate(result.schedule[1].assignment):
+            if "dla" not in profile.groups[g].time_s:
+                assert accel == "gpu"
+
+    def test_not_serialized(self, xavier, xavier_db, workload):
+        result = naive_concurrent(workload, xavier, db=xavier_db, **KW)
+        assert not result.schedule.serialized
+
+
+class TestMensa:
+    def test_greedy_picks_locally_best(self, xavier, xavier_db, workload):
+        result = mensa(workload, xavier, db=xavier_db, **KW)
+        for n, profile in enumerate(result.formulation.profiles):
+            prev = None
+            for g, accel in enumerate(result.schedule[n].assignment):
+                gp = profile.groups[g]
+                cost = gp.time_s[accel]
+                if prev is not None and accel != prev:
+                    cost += profile.transition(g - 1, prev, accel)
+                for alt, t in gp.time_s.items():
+                    alt_cost = t
+                    if prev is not None and alt != prev:
+                        alt_cost += profile.transition(g - 1, prev, alt)
+                    assert cost <= alt_cost + 1e-12
+                prev = accel
+
+    def test_streams_mapped_independently(self, xavier, xavier_db):
+        """Mensa is single-DNN: two identical streams get identical
+        (conflicting) assignments."""
+        workload = Workload.concurrent(
+            "googlenet", "googlenet", objective="throughput"
+        )
+        result = mensa(workload, xavier, db=xavier_db, **KW)
+        assert (
+            result.schedule[0].assignment == result.schedule[1].assignment
+        )
+
+
+class TestHeraldAndH2H:
+    def test_herald_prediction_ignores_transitions(
+        self, xavier, xavier_db, workload
+    ):
+        result = herald(workload, xavier, db=xavier_db, **KW)
+        assert not result.formulation.include_transitions
+
+    def test_h2h_prediction_includes_transitions(
+        self, xavier, xavier_db, workload
+    ):
+        result = h2h(workload, xavier, db=xavier_db, **KW)
+        assert result.formulation.include_transitions
+
+    def test_both_are_contention_blind(self, xavier, xavier_db, workload):
+        from repro.contention.base import NoContentionModel
+
+        for fn in (herald, h2h):
+            result = fn(workload, xavier, db=xavier_db, **KW)
+            assert isinstance(
+                result.formulation.contention_model, NoContentionModel
+            )
+
+    def test_never_serialized(self, xavier, xavier_db, workload):
+        """Herald/H2H always co-locate -- no GPU-only fallback."""
+        for fn in (herald, h2h):
+            result = fn(workload, xavier, db=xavier_db, **KW)
+            assert not result.schedule.serialized
+
+    def test_use_chain_timeline(self, xavier, xavier_db, workload):
+        for fn in (herald, h2h):
+            result = fn(workload, xavier, db=xavier_db, **KW)
+            assert not result.formulation.resource_constrained
+
+    def test_scheduler_names(self, xavier, xavier_db, workload):
+        assert (
+            herald(workload, xavier, db=xavier_db, **KW).schedule.meta[
+                "scheduler"
+            ]
+            == "herald"
+        )
+        assert (
+            h2h(workload, xavier, db=xavier_db, **KW).schedule.meta[
+                "scheduler"
+            ]
+            == "h2h"
+        )
+
+
+class TestRegistry:
+    def test_all_baselines_registered(self):
+        assert set(BASELINES) == {
+            "gpu_only",
+            "naive",
+            "mensa",
+            "herald",
+            "h2h",
+        }
+
+    def test_registry_callables_work(self, xavier, xavier_db, workload):
+        for fn in BASELINES.values():
+            result = fn(workload, xavier, db=xavier_db, max_groups=6)
+            assert result.predicted.makespan > 0

@@ -1,0 +1,84 @@
+"""Energy-aware scheduling extension (the AxoNN axis)."""
+
+import pytest
+
+from repro.core.baselines import gpu_only
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.runtime.executor import run_schedule
+
+
+@pytest.fixture(scope="module")
+def energy_results(orin, orin_db):
+    scheduler = HaXCoNN(orin, db=orin_db, max_groups=6, max_transitions=1)
+    out = {}
+    for objective in ("latency", "energy"):
+        workload = Workload.concurrent(
+            "googlenet", "resnet101", objective=objective
+        )
+        result = scheduler.schedule(workload)
+        out[objective] = (result, run_schedule(result, orin))
+    return out
+
+
+class TestEnergyObjective:
+    def test_energy_schedule_saves_energy(self, energy_results, orin):
+        _, lat_exec = energy_results["latency"]
+        _, en_exec = energy_results["energy"]
+        assert en_exec.energy_j(orin) < lat_exec.energy_j(orin)
+
+    def test_latency_schedule_is_faster(self, energy_results):
+        _, lat_exec = energy_results["latency"]
+        _, en_exec = energy_results["energy"]
+        assert lat_exec.latency_ms <= en_exec.latency_ms + 1e-9
+
+    def test_energy_schedule_prefers_the_dsa(self, energy_results):
+        result, _ = energy_results["energy"]
+        dla_groups = sum(
+            1
+            for s in result.schedule
+            for accel in s.assignment
+            if accel == "dla"
+        )
+        assert dla_groups >= 1
+
+    def test_predicted_energy_tracks_measurement(self, energy_results, orin):
+        result, execution = energy_results["energy"]
+        assert result.predicted.energy_j == pytest.approx(
+            execution.energy_j(orin), rel=0.15
+        )
+
+    def test_energy_beats_gpu_only(self, energy_results, orin, orin_db):
+        result, execution = energy_results["energy"]
+        workload = Workload.concurrent(
+            "googlenet", "resnet101", objective="energy"
+        )
+        baseline = gpu_only(workload, orin, db=orin_db, max_groups=6)
+        base_exec = run_schedule(baseline, orin)
+        assert execution.energy_j(orin) < base_exec.energy_j(orin)
+
+
+class TestEnergyValidation:
+    def test_energy_needs_power_map(self, xavier_db):
+        from repro.contention.base import NoContentionModel
+        from repro.core.formulation import Formulation
+
+        profile = xavier_db.profile("resnet18", max_groups=6)
+        with pytest.raises(ValueError):
+            Formulation([profile], (1,), "energy", NoContentionModel())
+
+    def test_chain_energy_admissible(self, orin, orin_db):
+        scheduler = HaXCoNN(orin, db=orin_db, max_groups=6)
+        workload = Workload.concurrent(
+            "googlenet", "resnet18", objective="energy"
+        )
+        formulation, profiles = scheduler.build_formulation(workload)
+        assignments = [
+            tuple("gpu" for _ in range(len(p))) for p in profiles
+        ]
+        result = formulation.evaluate(assignments)
+        bound = sum(
+            formulation.chain_energy(n, a)
+            for n, a in enumerate(assignments)
+        )
+        assert bound <= result.energy_j + 1e-9

@@ -1,0 +1,175 @@
+"""Property tests on the cost model over synthetic profiles.
+
+Random group times/bandwidths (no zoo, no perf model) let hypothesis
+sweep the formulation's invariants far beyond hand-picked cases.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.contention.base import NoContentionModel
+from repro.core.formulation import Formulation
+from repro.dnn.graph import DNNGraph
+from repro.dnn.grouping import group_layers
+from repro.dnn.layers import Activation, Conv2d
+from repro.dnn.shapes import TensorShape
+from repro.profiling.profiler import DNNProfile, GroupProfile
+
+
+def make_profile(
+    name: str,
+    times: list[dict[str, float]],
+    bws: list[dict[str, float]] | None = None,
+) -> DNNProfile:
+    """Hand-built profile: one real (tiny) group per entry, times/bw
+    overridden with the generated values."""
+    g = DNNGraph(name, TensorShape(3, 8, 8))
+    for i in range(len(times)):
+        g.add(Conv2d(f"c{i}", 4, 3, padding=1))
+        g.add(Activation(f"r{i}"))
+    groups = group_layers(g, max_groups=len(times))
+    entries = []
+    for group, time_s in zip(groups, times):
+        bw = (bws or [dict.fromkeys(time_s, 1e9)] * len(times))[
+            groups.index(group)
+        ]
+        entries.append(
+            GroupProfile(
+                group=group,
+                time_s=time_s,
+                req_bw={a: bw.get(a, 1e9) for a in time_s},
+                emc_util={a: 0.1 for a in time_s},
+                transition_s={
+                    ("gpu", "dla"): (1e-5, 1e-5),
+                    ("dla", "gpu"): (2e-5, 1e-5),
+                },
+            )
+        )
+    return DNNProfile(
+        dnn_name=name, platform_name="synthetic", groups=tuple(entries)
+    )
+
+
+times_strategy = st.lists(
+    st.fixed_dictionaries(
+        {
+            "gpu": st.floats(1e-5, 5e-3),
+            "dla": st.floats(1e-5, 5e-3),
+        }
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+class TestTimelineInvariants:
+    @given(t1=times_strategy, t2=times_strategy)
+    @settings(max_examples=40)
+    def test_makespan_bounds(self, t1, t2):
+        """Makespan is at least each stream's chain and at most the
+        serialized sum (queueing never beats having both DSAs; never
+        exceeds full serialization on disjoint/shared DSAs)."""
+        p1, p2 = make_profile("a", t1), make_profile("b", t2)
+        form = Formulation(
+            (p1, p2), (1, 1), "latency", NoContentionModel()
+        )
+        a1 = tuple("gpu" for _ in t1)
+        a2 = tuple("dla" for _ in t2)
+        result = form.evaluate([a1, a2])
+        chain1 = form.chain_time(0, a1)
+        chain2 = form.chain_time(1, a2)
+        assert result.makespan >= max(chain1, chain2) - 1e-12
+        assert result.makespan <= chain1 + chain2 + 1e-12
+
+    @given(t1=times_strategy, t2=times_strategy)
+    @settings(max_examples=40)
+    def test_shared_dsa_fully_serializes(self, t1, t2):
+        p1, p2 = make_profile("a", t1), make_profile("b", t2)
+        form = Formulation(
+            (p1, p2), (1, 1), "latency", NoContentionModel()
+        )
+        a1 = tuple("gpu" for _ in t1)
+        a2 = tuple("gpu" for _ in t2)
+        result = form.evaluate([a1, a2])
+        assert result.makespan == pytest.approx(
+            form.chain_time(0, a1) + form.chain_time(1, a2), rel=1e-9
+        )
+
+    @given(t1=times_strategy)
+    @settings(max_examples=40)
+    def test_serialized_equals_chain_sum(self, t1):
+        p1 = make_profile("a", t1)
+        p2 = make_profile("b", list(reversed(t1)))
+        form = Formulation(
+            (p1, p2), (1, 1), "latency", NoContentionModel()
+        )
+        a1 = tuple("gpu" for _ in t1)
+        a2 = tuple("dla" for _ in t1)
+        serialized = form.evaluate([a1, a2], serialized=True)
+        assert serialized.makespan == pytest.approx(
+            form.chain_time(0, a1) + form.chain_time(1, a2), rel=1e-9
+        )
+
+    @given(t1=times_strategy, reps=st.integers(1, 3))
+    @settings(max_examples=30)
+    def test_repeats_scale_single_stream(self, t1, reps):
+        p1 = make_profile("a", t1)
+        form = Formulation((p1,), (reps,), "latency", NoContentionModel())
+        a1 = tuple("gpu" for _ in t1)
+        single = Formulation((p1,), (1,), "latency", NoContentionModel())
+        assert form.evaluate([a1]).makespan == pytest.approx(
+            reps * single.evaluate([a1]).makespan, rel=1e-9
+        )
+
+    @given(t1=times_strategy, t2=times_strategy)
+    @settings(max_examples=30)
+    def test_transitions_never_reduce_makespan(self, t1, t2):
+        """Splitting a stream across DSAs adds transition cost; the
+        contention-free makespan with a split is never below the pure
+        max-of-chains floor."""
+        p1, p2 = make_profile("a", t1), make_profile("b", t2)
+        form = Formulation(
+            (p1, p2), (1, 1), "latency", NoContentionModel()
+        )
+        split = tuple(
+            "gpu" if i < len(t1) // 2 else "dla" for i in range(len(t1))
+        )
+        a2 = tuple("gpu" for _ in t2)
+        result = form.evaluate([split, a2])
+        assert result.makespan >= form.chain_time(0, split) - 1e-12
+        assert result.makespan >= form.chain_time(1, a2) - 1e-12
+
+
+class TestObjectiveInvariants:
+    @given(t1=times_strategy, t2=times_strategy)
+    @settings(max_examples=30)
+    def test_throughput_objective_is_negative_rate(self, t1, t2):
+        p1, p2 = make_profile("a", t1), make_profile("b", t2)
+        form = Formulation(
+            (p1, p2), (1, 1), "throughput", NoContentionModel()
+        )
+        result = form.evaluate(
+            [tuple("gpu" for _ in t1), tuple("dla" for _ in t2)]
+        )
+        assert result.objective == pytest.approx(
+            -2 / result.makespan, rel=1e-9
+        )
+
+    @given(t1=times_strategy)
+    @settings(max_examples=30)
+    def test_energy_equals_time_weighted_power(self, t1):
+        p1 = make_profile("a", t1)
+        powers = {"gpu": 20.0, "dla": 5.0}
+        form = Formulation(
+            (p1,),
+            (1,),
+            "energy",
+            NoContentionModel(),
+            accel_power_w=powers,
+        )
+        a1 = tuple("gpu" for _ in t1)
+        result = form.evaluate([a1])
+        expected = sum(e["gpu"] for e in t1) * 20.0
+        assert result.energy_j == pytest.approx(expected, rel=1e-9)
+        assert result.objective == pytest.approx(expected, rel=1e-9)

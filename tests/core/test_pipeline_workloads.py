@@ -1,0 +1,114 @@
+"""Pipelined workloads (paper Scenario 3 steady state)."""
+
+import pytest
+
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload, WorkloadDNN
+from repro.runtime.executor import run_schedule
+
+
+@pytest.fixture(scope="module")
+def scheduler(xavier, xavier_db):
+    return HaXCoNN(xavier, db=xavier_db, max_groups=6, max_transitions=1)
+
+
+def pipelined_workload(frames=3):
+    return Workload(
+        dnns=(
+            WorkloadDNN.of("googlenet", repeats=frames),
+            WorkloadDNN.of("resnet18", repeats=frames),
+        ),
+        objective="throughput",
+        pipeline=((0, 1),),
+    )
+
+
+class TestWorkloadPipelineField:
+    def test_valid_edge(self):
+        w = pipelined_workload()
+        assert w.pipeline == ((0, 1),)
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                dnns=(WorkloadDNN.of("googlenet"),),
+                pipeline=((0, 1),),
+            )
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                dnns=(
+                    WorkloadDNN.of("googlenet"),
+                    WorkloadDNN.of("resnet18"),
+                ),
+                pipeline=((0, 0),),
+            )
+
+
+class TestPipelinedFormulation:
+    def test_downstream_frames_wait(self, scheduler):
+        workload = pipelined_workload()
+        formulation, profiles = scheduler.build_formulation(workload)
+        assignments = [
+            tuple("gpu" for _ in range(len(p))) for p in profiles
+        ]
+        result = formulation.evaluate(assignments)
+        g0 = len(profiles[0])
+        for rep in range(3):
+            up_end = max(
+                i.end
+                for i in result.items
+                if i.dnn == 0 and i.rep == rep
+            )
+            down_start = min(
+                i.start
+                for i in result.items
+                if i.dnn == 1 and i.rep == rep
+            )
+            assert down_start >= up_end - 1e-12
+        del g0
+
+    def test_pipeline_slower_than_unconstrained(self, scheduler):
+        piped = pipelined_workload()
+        free = Workload(
+            dnns=piped.dnns, objective="throughput", pipeline=()
+        )
+        formulation_p, profiles = scheduler.build_formulation(piped)
+        formulation_f, _ = scheduler.build_formulation(free)
+        assignments = [
+            ("gpu",) * len(profiles[0]),
+            tuple(
+                "dla" if "dla" in g.time_s else "gpu"
+                for g in profiles[1].groups
+            ),
+        ]
+        piped_span = formulation_p.evaluate(assignments).makespan
+        free_span = formulation_f.evaluate(assignments).makespan
+        assert piped_span >= free_span - 1e-12
+
+    def test_prediction_matches_execution(self, scheduler, xavier):
+        workload = pipelined_workload()
+        result = scheduler.schedule(workload)
+        execution = run_schedule(result, xavier)
+        assert result.predicted.makespan == pytest.approx(
+            execution.makespan_s, rel=0.12
+        )
+
+    def test_steady_state_beats_frame_by_frame(self, scheduler, xavier):
+        """Pipelining amortizes: 3 frames take less than 3x one frame
+        when the schedule overlaps stages across accelerators."""
+        result = scheduler.schedule(pipelined_workload())
+        execution = run_schedule(result, xavier)
+        single = scheduler.schedule(
+            Workload(
+                dnns=(
+                    WorkloadDNN.of("googlenet"),
+                    WorkloadDNN.of("resnet18"),
+                ),
+                objective="throughput",
+                pipeline=((0, 1),),
+            )
+        )
+        single_exec = run_schedule(single, xavier)
+        assert execution.makespan_s < 3 * single_exec.makespan_s + 1e-9

@@ -1,0 +1,94 @@
+"""Static schedule cache (paper Section 3.5's offline path)."""
+
+import time
+
+import pytest
+
+from repro.core.haxconn import HaXCoNN
+from repro.core.schedule_cache import ScheduleCache, workload_signature
+from repro.core.workload import Workload
+from repro.runtime.executor import run_schedule
+
+
+@pytest.fixture(scope="module")
+def scheduler(xavier, xavier_db):
+    return HaXCoNN(xavier, db=xavier_db, max_groups=6, max_transitions=1)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.concurrent("googlenet", "resnet101", objective="latency")
+
+
+class TestSignature:
+    def test_stable(self, scheduler, workload):
+        assert workload_signature(
+            workload, scheduler
+        ) == workload_signature(workload, scheduler)
+
+    def test_distinguishes_objective(self, scheduler):
+        a = Workload.concurrent("googlenet", "resnet101")
+        b = Workload.concurrent(
+            "googlenet", "resnet101", objective="throughput"
+        )
+        assert workload_signature(a, scheduler) != workload_signature(
+            b, scheduler
+        )
+
+    def test_distinguishes_platform(self, scheduler, orin, orin_db, workload):
+        other = HaXCoNN(orin, db=orin_db, max_groups=6, max_transitions=1)
+        assert workload_signature(
+            workload, scheduler
+        ) != workload_signature(workload, other)
+
+
+class TestCache:
+    def test_first_get_solves(self, scheduler, workload):
+        cache = ScheduleCache(scheduler)
+        result = cache.get(workload)
+        assert cache.misses == 1 and cache.hits == 0
+        assert result.predicted.makespan > 0
+
+    def test_second_get_toggles_instantly(self, scheduler, workload):
+        cache = ScheduleCache(scheduler)
+        first = cache.get(workload)
+        t0 = time.perf_counter()
+        second = cache.get(workload)
+        toggle_time = time.perf_counter() - t0
+        assert cache.hits == 1
+        assert [s.assignment for s in second.schedule] == [
+            s.assignment for s in first.schedule
+        ]
+        # the paper's point: no solver in the loop on a CFG switch
+        assert toggle_time < 0.5
+
+    def test_cached_result_is_executable(self, scheduler, workload, xavier):
+        cache = ScheduleCache(scheduler)
+        cache.get(workload)
+        execution = run_schedule(cache.get(workload), xavier)
+        assert execution.latency_ms > 0
+
+    def test_precompute_and_contains(self, scheduler):
+        cache = ScheduleCache(scheduler)
+        workloads = [
+            Workload.concurrent("googlenet", "resnet18"),
+            Workload.concurrent("resnet18", "resnet50"),
+        ]
+        cache.precompute(workloads)
+        assert len(cache) == 2
+        assert all(w in cache for w in workloads)
+
+    def test_roundtrip(self, scheduler, workload, tmp_path, xavier):
+        cache = ScheduleCache(scheduler)
+        original = cache.get(workload)
+        path = tmp_path / "schedules.json"
+        cache.save(path)
+        restored = ScheduleCache.load(path, scheduler)
+        assert workload in restored
+        result = restored.get(workload)
+        assert restored.hits == 1
+        assert [s.assignment for s in result.schedule] == [
+            s.assignment for s in original.schedule
+        ]
+        measured = run_schedule(result, xavier)
+        assert measured.latency_ms > 0

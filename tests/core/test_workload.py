@@ -1,0 +1,66 @@
+"""Workload descriptions."""
+
+import pytest
+
+from repro.core.workload import Workload, WorkloadDNN
+
+
+class TestWorkloadDNN:
+    def test_single_model(self):
+        d = WorkloadDNN.of("vgg19")
+        assert d.name == "vgg19"
+        assert d.repeats == 1
+
+    def test_chained_models(self):
+        d = WorkloadDNN.of("googlenet", "resnet152")
+        assert d.name == "googlenet+resnet152"
+
+    def test_repeats_in_name(self):
+        d = WorkloadDNN.of("alexnet", repeats=3)
+        assert d.name == "alexnetx3"
+
+    def test_instance_suffix(self):
+        d = WorkloadDNN(models=("googlenet",), instance=1)
+        assert d.name == "googlenet@1"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadDNN(models=())
+        with pytest.raises(ValueError):
+            WorkloadDNN(models=("x",), repeats=0)
+        with pytest.raises(ValueError):
+            WorkloadDNN(models=("x",), instance=-1)
+
+
+class TestWorkload:
+    def test_concurrent_builder(self):
+        w = Workload.concurrent("vgg19", "resnet152")
+        assert w.names == ("vgg19", "resnet152")
+        assert w.objective == "latency"
+
+    def test_scenario1_duplicates_disambiguated(self):
+        w = Workload.concurrent("googlenet", "googlenet")
+        assert w.names == ("googlenet", "googlenet@1")
+
+    def test_objective_validation(self):
+        with pytest.raises(ValueError):
+            Workload.concurrent("vgg19", objective="power")
+
+    def test_energy_objective_accepted(self):
+        w = Workload.concurrent("vgg19", objective="energy")
+        assert w.objective == "energy"
+
+    def test_needs_streams(self):
+        with pytest.raises(ValueError):
+            Workload(dnns=())
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Workload(
+                dnns=(WorkloadDNN.of("vgg19"), WorkloadDNN.of("vgg19"))
+            )
+
+    def test_len_and_iter(self):
+        w = Workload.concurrent("vgg19", "resnet152", "googlenet")
+        assert len(w) == 3
+        assert [d.name for d in w] == ["vgg19", "resnet152", "googlenet"]

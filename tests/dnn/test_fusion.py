@@ -1,0 +1,115 @@
+"""Operator fusion: chain merging and traffic accounting."""
+
+import pytest
+
+from repro.dnn import zoo
+from repro.dnn.fusion import FusedLayer, fuse
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    BatchNorm,
+    Conv2d,
+    MaxPool2d,
+)
+from repro.dnn.shapes import TensorShape
+
+
+def conv_bn_relu_graph():
+    g = DNNGraph("cbr", TensorShape(3, 32, 32))
+    g.add(Conv2d("conv", 16, 3, padding=1, bias=False))
+    g.add(BatchNorm("bn"))
+    g.add(Activation("relu"))
+    g.add(MaxPool2d("pool", 2, 2))
+    return g
+
+
+class TestFuse:
+    def test_conv_bn_relu_merge(self):
+        units = fuse(conv_bn_relu_graph())
+        assert len(units) == 2
+        assert [l.name for l in units[0]] == ["conv", "bn", "relu"]
+        assert [l.name for l in units[1]] == ["pool"]
+
+    def test_covers_every_layer_exactly_once(self):
+        g = conv_bn_relu_graph()
+        units = fuse(g)
+        names = [l.name for u in units for l in u]
+        assert names == [l.name for l in g.compute_layers]
+
+    def test_branch_consumer_not_fused(self):
+        g = DNNGraph("branch", TensorShape(16, 8, 8))
+        entry = g.add(Conv2d("conv", 16, 3, padding=1))
+        # entry has two consumers -> relu must not merge into conv
+        g.add(Activation("relu"), inputs=entry)
+        relu = g["relu"]
+        g.add(Add("add"), inputs=[relu, entry])
+        units = fuse(g)
+        head = next(u for u in units if u.layers[0].name == "conv")
+        assert len(head) == 1
+
+    def test_residual_add_fuses_into_main_path(self):
+        g = DNNGraph("res", TensorShape(16, 8, 8))
+        entry = g.add(Conv2d("stem", 16, 3, padding=1))
+        g.add(Conv2d("main", 16, 3, padding=1, bias=False), inputs=entry)
+        g.add(BatchNorm("main_bn"))
+        main = g.add(Activation("main_relu"))
+        g.add(Add("add"), inputs=[main, entry])
+        units = fuse(g)
+        tail = next(u for u in units if u.layers[0].name == "main")
+        assert [l.name for l in tail] == ["main", "main_bn", "main_relu", "add"]
+        # the skip input comes from outside the chain -> counted
+        assert tail.input_elems == 2 * 16 * 8 * 8
+
+    def test_flops_conserved(self):
+        g = conv_bn_relu_graph()
+        assert sum(u.flops for u in fuse(g)) == g.total_flops
+
+    def test_params_conserved(self):
+        g = conv_bn_relu_graph()
+        assert sum(u.weight_params for u in fuse(g)) == g.total_params
+
+    @pytest.mark.parametrize("model", ["resnet18", "googlenet", "mobilenet_v1"])
+    def test_zoo_models_fuse_completely(self, model):
+        """Every layer lands in exactly one unit (order may locally
+        differ from topological order when a residual Add fuses into
+        the main path -- cost semantics are order-free within a
+        group)."""
+        g = zoo.build(model)
+        units = fuse(g)
+        names = [l.name for u in units for l in u]
+        assert sorted(names) == sorted(l.name for l in g.compute_layers)
+        assert sum(u.flops for u in units) == g.total_flops
+
+    def test_fusion_reduces_unit_count(self):
+        g = zoo.build("resnet50")
+        assert len(fuse(g)) < len(g)
+
+
+class TestFusedLayer:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            FusedLayer([])
+
+    def test_primary_is_compute_layer(self):
+        units = fuse(conv_bn_relu_graph())
+        assert units[0].primary.name == "conv"
+        assert units[0].kind == "conv"
+
+    def test_name_encodes_followers(self):
+        units = fuse(conv_bn_relu_graph())
+        assert units[0].name == "conv+2"
+        assert units[1].name == "pool"
+
+    def test_out_shape_is_tail_shape(self):
+        units = fuse(conv_bn_relu_graph())
+        assert units[0].out_shape == TensorShape(16, 32, 32)
+
+    def test_intermediates_not_in_traffic(self):
+        units = fuse(conv_bn_relu_graph())
+        # only the conv's external input counts, not bn/relu inputs
+        assert units[0].input_elems == 3 * 32 * 32
+
+    def test_arithmetic_intensity_positive(self):
+        units = fuse(conv_bn_relu_graph())
+        assert units[0].arithmetic_intensity > 0

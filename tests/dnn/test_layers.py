@@ -1,0 +1,234 @@
+"""Layer classes: shape inference, FLOP and parameter accounting."""
+
+import pytest
+
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    AvgPool2d,
+    BatchNorm,
+    Concat,
+    Conv2d,
+    Deconv2d,
+    Dense,
+    DepthwiseConv2d,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2d,
+    InputLayer,
+    LayerError,
+    LRN,
+    MaxPool2d,
+    Softmax,
+)
+from repro.dnn.shapes import TensorShape
+
+
+def bind(layer, *shapes):
+    layer.bind(list(shapes))
+    return layer
+
+
+class TestConv2d:
+    def test_shape_inference(self):
+        conv = bind(Conv2d("c", 64, 3, padding=1), TensorShape(3, 224, 224))
+        assert conv.out_shape == TensorShape(64, 224, 224)
+
+    def test_strided(self):
+        conv = bind(Conv2d("c", 64, 7, 2, 3), TensorShape(3, 224, 224))
+        assert conv.out_shape == TensorShape(64, 112, 112)
+
+    def test_flops_formula(self):
+        conv = bind(Conv2d("c", 64, 3, padding=1), TensorShape(3, 224, 224))
+        assert conv.flops == 2 * 64 * 224 * 224 * 3 * 3 * 3
+
+    def test_weight_params_with_bias(self):
+        conv = bind(Conv2d("c", 64, 3, padding=1), TensorShape(3, 224, 224))
+        assert conv.weight_params == 64 * 3 * 9 + 64
+
+    def test_weight_params_without_bias(self):
+        conv = bind(
+            Conv2d("c", 64, 3, padding=1, bias=False),
+            TensorShape(3, 224, 224),
+        )
+        assert conv.weight_params == 64 * 3 * 9
+
+    def test_grouped_conv(self):
+        conv = bind(
+            Conv2d("c", 256, 5, padding=2, groups=2), TensorShape(96, 27, 27)
+        )
+        assert conv.weight_params == 256 * 48 * 25 + 256
+        assert conv.flops == 2 * 256 * 27 * 27 * 48 * 25
+
+    def test_rect_kernel(self):
+        conv = bind(Conv2d("c", 64, (1, 7)), TensorShape(64, 17, 17))
+        assert conv.out_shape == TensorShape(64, 17, 17)
+        assert conv.kernel_area == 7
+        assert conv.kernel_max == 7
+
+    def test_rejects_indivisible_groups(self):
+        with pytest.raises(LayerError):
+            bind(Conv2d("c", 64, 3, groups=3), TensorShape(64, 8, 8))
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(LayerError):
+            Conv2d("c", 0, 3)
+        with pytest.raises(LayerError):
+            Conv2d("c", 8, 0)
+        with pytest.raises(LayerError):
+            Conv2d("c", 8, 3, stride=0)
+
+    def test_rejects_multiple_inputs(self):
+        with pytest.raises(LayerError):
+            bind(Conv2d("c", 8, 3), TensorShape(3, 8, 8), TensorShape(3, 8, 8))
+
+    def test_unbound_flops_raises(self):
+        with pytest.raises(LayerError):
+            Conv2d("c", 8, 3).flops
+
+
+class TestDepthwiseConv2d:
+    def test_binds_to_input_channels(self):
+        conv = bind(DepthwiseConv2d("dw", 3), TensorShape(32, 112, 112))
+        assert conv.out_shape == TensorShape(32, 112, 112)
+        assert conv.groups == 32
+
+    def test_flops_per_channel(self):
+        conv = bind(
+            DepthwiseConv2d("dw", 3, bias=False), TensorShape(32, 112, 112)
+        )
+        assert conv.flops == 2 * 32 * 112 * 112 * 9
+
+
+class TestDeconv2d:
+    def test_upsamples(self):
+        deconv = bind(Deconv2d("up", 21, 64, 32), TensorShape(21, 7, 7))
+        assert deconv.out_shape == TensorShape(21, 224, 224)
+
+    def test_weight_params(self):
+        deconv = bind(
+            Deconv2d("up", 21, 64, 32, bias=False), TensorShape(21, 7, 7)
+        )
+        assert deconv.weight_params == 21 * 21 * 64 * 64
+
+
+class TestDense:
+    def test_shape(self):
+        fc = bind(Dense("fc", 4096), TensorShape(25088))
+        assert fc.out_shape == TensorShape(4096)
+
+    def test_flops_and_params(self):
+        fc = bind(Dense("fc", 4096), TensorShape(25088))
+        assert fc.flops == 2 * 25088 * 4096
+        assert fc.weight_params == 25088 * 4096 + 4096
+
+    def test_requires_flat_input(self):
+        with pytest.raises(LayerError):
+            bind(Dense("fc", 10), TensorShape(512, 7, 7))
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(LayerError):
+            Dense("fc", 0)
+
+
+class TestPooling:
+    def test_maxpool_shape(self):
+        pool = bind(MaxPool2d("p", 2, 2), TensorShape(64, 224, 224))
+        assert pool.out_shape == TensorShape(64, 112, 112)
+
+    def test_avgpool_flops(self):
+        pool = bind(AvgPool2d("p", 3, 1, padding=1), TensorShape(64, 28, 28))
+        assert pool.flops == 64 * 28 * 28 * 9
+
+    def test_global_avgpool_flattens(self):
+        pool = bind(GlobalAvgPool2d("gap"), TensorShape(2048, 7, 7))
+        assert pool.out_shape == TensorShape(2048)
+        assert pool.flops == 2048 * 7 * 7
+
+    def test_default_stride_equals_kernel(self):
+        pool = MaxPool2d("p", 2)
+        assert pool.stride == 2
+
+
+class TestElementwise:
+    def test_batchnorm_preserves_shape(self):
+        bn = bind(BatchNorm("bn"), TensorShape(64, 56, 56))
+        assert bn.out_shape == TensorShape(64, 56, 56)
+        assert bn.weight_params == 128
+
+    def test_activation(self):
+        act = bind(Activation("relu"), TensorShape(64, 56, 56))
+        assert act.flops == 64 * 56 * 56
+        assert act.fusible
+
+    def test_add_requires_matching_shapes(self):
+        with pytest.raises(LayerError):
+            bind(Add("a"), TensorShape(64, 8, 8), TensorShape(32, 8, 8))
+
+    def test_add_requires_two_inputs(self):
+        with pytest.raises(LayerError):
+            bind(Add("a"), TensorShape(64, 8, 8))
+
+    def test_add_flops(self):
+        add = bind(
+            Add("a"),
+            TensorShape(64, 8, 8),
+            TensorShape(64, 8, 8),
+            TensorShape(64, 8, 8),
+        )
+        assert add.flops == 2 * 64 * 8 * 8
+
+    def test_lrn_flops_scale_with_local_size(self):
+        small = bind(LRN("n", local_size=3), TensorShape(96, 55, 55))
+        large = bind(LRN("n2", local_size=5), TensorShape(96, 55, 55))
+        assert large.flops > small.flops
+
+
+class TestConcat:
+    def test_concatenates_channels(self):
+        cat = bind(
+            Concat("c"),
+            TensorShape(64, 28, 28),
+            TensorShape(128, 28, 28),
+            TensorShape(32, 28, 28),
+        )
+        assert cat.out_shape == TensorShape(224, 28, 28)
+        assert cat.flops == 0
+
+    def test_rejects_spatial_mismatch(self):
+        with pytest.raises(LayerError):
+            bind(Concat("c"), TensorShape(64, 28, 28), TensorShape(64, 14, 14))
+
+
+class TestStructural:
+    def test_flatten(self):
+        flat = bind(Flatten("f"), TensorShape(256, 6, 6))
+        assert flat.out_shape == TensorShape(256 * 36)
+        assert flat.flops == 0
+
+    def test_softmax(self):
+        sm = bind(Softmax("s"), TensorShape(1000))
+        assert sm.flops == 5000
+
+    def test_dropout_noop(self):
+        drop = bind(Dropout("d"), TensorShape(4096))
+        assert drop.flops == 0
+        assert drop.fusible
+
+    def test_input_layer(self):
+        inp = InputLayer("input", TensorShape(3, 224, 224))
+        assert inp.out_shape == TensorShape(3, 224, 224)
+        assert inp.flops == 0
+        with pytest.raises(LayerError):
+            inp.infer_shape([TensorShape(3)])
+
+
+class TestArithmeticIntensity:
+    def test_bigger_kernels_raise_intensity(self):
+        small = bind(Conv2d("a", 64, 1), TensorShape(64, 56, 56))
+        large = bind(Conv2d("b", 64, 5, padding=2), TensorShape(64, 56, 56))
+        assert large.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_intensity_positive_for_compute_layers(self):
+        conv = bind(Conv2d("c", 64, 3, padding=1), TensorShape(64, 56, 56))
+        assert conv.arithmetic_intensity > 0

@@ -1,0 +1,63 @@
+"""Batch dimension in the performance model."""
+
+import pytest
+
+from repro.dnn import zoo
+from repro.dnn.fusion import fuse
+from repro.dnn.grouping import group_layers
+from repro.experiments.batching import batched_gpu_latency_ms
+from repro.perf.model import group_cost, unit_cost
+
+
+@pytest.fixture(scope="module")
+def conv_unit():
+    units = fuse(zoo.build("resnet18"))
+    return next(u for u in units if u.kind == "conv")
+
+
+class TestBatchScaling:
+    def test_batch_one_is_default(self, conv_unit, xavier):
+        a = unit_cost(conv_unit, xavier.gpu, xavier)
+        b = unit_cost(conv_unit, xavier.gpu, xavier, batch=1)
+        assert a.time_s == b.time_s
+
+    def test_bigger_batch_takes_longer(self, conv_unit, xavier):
+        b1 = unit_cost(conv_unit, xavier.gpu, xavier, batch=1)
+        b4 = unit_cost(conv_unit, xavier.gpu, xavier, batch=4)
+        assert b4.time_s > b1.time_s
+
+    def test_batching_is_sublinear(self, conv_unit, xavier):
+        """Per-frame cost drops with batch: utilization rises and
+        weights amortize."""
+        b1 = unit_cost(conv_unit, xavier.gpu, xavier, batch=1)
+        b4 = unit_cost(conv_unit, xavier.gpu, xavier, batch=4)
+        assert b4.time_s < 4 * b1.time_s
+
+    def test_rejects_bad_batch(self, conv_unit, xavier):
+        with pytest.raises(ValueError):
+            unit_cost(conv_unit, xavier.gpu, xavier, batch=0)
+
+    def test_group_cost_batched(self, xavier):
+        group = group_layers(zoo.build("resnet18"), max_groups=6)[1]
+        b1 = group_cost(group, xavier.gpu, xavier, batch=1)
+        b2 = group_cost(group, xavier.gpu, xavier, batch=2)
+        assert b1.time_s < b2.time_s < 2 * b1.time_s
+
+    def test_req_bw_stays_physical(self, conv_unit, xavier):
+        for batch in (1, 2, 8):
+            cost = unit_cost(conv_unit, xavier.gpu, xavier, batch=batch)
+            assert cost.req_bw <= xavier.dram_bandwidth + 1e-6
+
+
+class TestBatchingStudy:
+    def test_whole_network_batching_sublinear(self):
+        b1 = batched_gpu_latency_ms("googlenet", "orin", 1)
+        b2 = batched_gpu_latency_ms("googlenet", "orin", 2)
+        assert b1 < b2 < 2 * b1
+
+    def test_batched_latency_floor_higher(self):
+        """The deployment trade: batch-2 throughput costs per-frame
+        latency (both frames wait for the batch)."""
+        b1 = batched_gpu_latency_ms("resnet101", "orin", 1)
+        b2 = batched_gpu_latency_ms("resnet101", "orin", 2)
+        assert b2 > b1

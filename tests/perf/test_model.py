@@ -1,0 +1,164 @@
+"""Roofline latency model: physicality and monotonicity."""
+
+import pytest
+
+from repro.dnn import zoo
+from repro.dnn.fusion import fuse
+from repro.dnn.grouping import group_layers
+from repro.perf.model import (
+    UnsupportedLayerError,
+    group_cost,
+    standalone_latency,
+    transition_cost,
+    unit_cost,
+    utilization,
+)
+
+
+@pytest.fixture(scope="module")
+def googlenet_units(xavier):
+    return fuse(zoo.build("googlenet"))
+
+
+@pytest.fixture(scope="module")
+def resnet_groups():
+    return group_layers(zoo.build("resnet18"), max_groups=8)
+
+
+class TestUnitCost:
+    def test_positive_time(self, xavier, googlenet_units):
+        for unit in googlenet_units[:20]:
+            cost = unit_cost(unit, xavier.gpu, xavier)
+            assert cost.time_s > 0
+            assert cost.dram_bytes > 0
+
+    def test_req_bw_never_exceeds_dram(self, xavier, orin, sd865, googlenet_units):
+        """Physicality: no unit can request more than the controller
+        delivers, on any platform, for any accelerator -- the
+        calibration scale must not break this."""
+        for platform in (xavier, orin, sd865):
+            for accel in platform.accelerators:
+                for unit in googlenet_units:
+                    try:
+                        cost = unit_cost(unit, accel, platform)
+                    except UnsupportedLayerError:
+                        continue
+                    assert cost.req_bw <= platform.dram_bandwidth + 1e-6
+                    assert (
+                        cost.req_bw
+                        <= accel.standalone_bw_frac * platform.dram_bandwidth
+                        + 1e-6
+                    )
+
+    def test_bytes_time_bw_consistent(self, xavier, googlenet_units):
+        for unit in googlenet_units[:20]:
+            cost = unit_cost(unit, xavier.gpu, xavier)
+            assert cost.req_bw == pytest.approx(
+                min(
+                    cost.dram_bytes / cost.time_s,
+                    xavier.gpu.standalone_bw_frac * xavier.dram_bandwidth,
+                ),
+                rel=1e-9,
+            )
+
+    def test_unsupported_kind_raises(self, xavier):
+        graph = zoo.build("alexnet")
+        lrn_unit = next(u for u in fuse(graph) if u.kind == "lrn")
+        with pytest.raises(UnsupportedLayerError):
+            unit_cost(lrn_unit, xavier.dsa, xavier)
+
+    def test_compute_never_exceeds_total(self, xavier, googlenet_units):
+        for unit in googlenet_units[:20]:
+            cost = unit_cost(unit, xavier.gpu, xavier)
+            assert cost.compute_s <= cost.time_s + 1e-12
+
+    def test_dla_slower_than_gpu_overall(self, xavier):
+        total_gpu = total_dla = 0.0
+        for unit in fuse(zoo.build("resnet18")):
+            if not xavier.dsa.supports_kinds(frozenset({unit.kind})):
+                continue
+            total_gpu += unit_cost(unit, xavier.gpu, xavier).time_s
+            total_dla += unit_cost(unit, xavier.dsa, xavier).time_s
+        assert total_dla > total_gpu
+
+
+class TestUtilization:
+    def test_monotone_in_outputs(self, xavier):
+        assert utilization(1_000, xavier.gpu) < utilization(100_000, xavier.gpu)
+
+    def test_saturates_below_one(self, xavier):
+        assert utilization(10**9, xavier.gpu) <= 1.0
+
+    def test_dla_saturates_earlier(self, xavier):
+        outputs = 10_000
+        assert utilization(outputs, xavier.dsa) > utilization(
+            outputs, xavier.gpu
+        )
+
+
+class TestGroupCost:
+    def test_additive_over_units(self, xavier, resnet_groups):
+        group = resnet_groups[2]
+        total = group_cost(group, xavier.gpu, xavier)
+        summed = sum(
+            unit_cost(u, xavier.gpu, xavier).time_s for u in group.units
+        )
+        assert total.time_s == pytest.approx(summed, rel=1e-9)
+
+    def test_group_req_bw_is_average(self, xavier, resnet_groups):
+        group = resnet_groups[2]
+        cost = group_cost(group, xavier.gpu, xavier)
+        assert cost.req_bw == pytest.approx(
+            cost.dram_bytes / cost.time_s, rel=1e-9
+        )
+
+
+class TestTransitionCost:
+    def test_monotone_in_tensor_size(self, xavier):
+        small = transition_cost(10_000, xavier.gpu, xavier.dsa, xavier)
+        large = transition_cost(1_000_000, xavier.gpu, xavier.dsa, xavier)
+        assert large[0] > small[0]
+        assert large[1] > small[1]
+
+    def test_dla_flush_slower_than_gpu_flush(self, xavier):
+        """Paper Table 2: D->G transitions cost more than G->D."""
+        g2d = sum(transition_cost(100_000, xavier.gpu, xavier.dsa, xavier))
+        d2g = sum(transition_cost(100_000, xavier.dsa, xavier.gpu, xavier))
+        assert d2g > g2d
+
+    def test_includes_fixed_latency(self, xavier):
+        out_s, in_s = transition_cost(1, xavier.gpu, xavier.dsa, xavier)
+        assert out_s > 0 and in_s > 0
+
+
+class TestStandaloneLatency:
+    def test_sums_groups(self, xavier, resnet_groups):
+        latency = standalone_latency(resnet_groups, xavier.gpu, xavier)
+        summed = sum(
+            group_cost(g, xavier.gpu, xavier).time_s for g in resnet_groups
+        )
+        assert latency == pytest.approx(summed, rel=1e-9)
+
+    def test_fallback_for_unsupported_groups(self, xavier):
+        groups = group_layers(zoo.build("alexnet"), max_groups=8)
+        with pytest.raises(UnsupportedLayerError):
+            standalone_latency(groups, xavier.dsa, xavier)
+        latency = standalone_latency(
+            groups, xavier.dsa, xavier, fallback=xavier.gpu
+        )
+        assert latency > 0
+
+    def test_fallback_adds_transitions(self, xavier):
+        groups = group_layers(zoo.build("alexnet"), max_groups=8)
+        with_fallback = standalone_latency(
+            groups, xavier.dsa, xavier, fallback=xavier.gpu
+        )
+        pure_sum = 0.0
+        for g in groups:
+            accel = (
+                xavier.dsa
+                if xavier.dsa.supports_kinds(g.layer_kinds)
+                else xavier.gpu
+            )
+            pure_sum += group_cost(g, accel, xavier).time_s
+        assert with_fallback > pure_sum  # transition overhead included

@@ -1,0 +1,80 @@
+"""ASCII Gantt rendering."""
+
+import pytest
+
+from repro.runtime.gantt import render_prediction, render_timeline
+from repro.soc.timeline import Timeline, TaskRecord
+
+
+def record(tid, accel, start, end, **meta):
+    return TaskRecord(
+        task_id=tid,
+        accel=accel,
+        start=start,
+        end=end,
+        standalone_s=end - start,
+        meta=meta,
+    )
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(
+        records=[
+            record("a", "gpu", 0.0, 1e-3, dnn=0, role="group"),
+            record("t", "gpu", 1e-3, 1.1e-3, dnn=0, role="flush"),
+            record("b", "dla", 1.1e-3, 2e-3, dnn=0, role="group"),
+            record("c", "dla", 0.0, 0.5e-3, dnn=1, role="group"),
+        ],
+        intervals=[],
+    )
+
+
+class TestRenderTimeline:
+    def test_one_row_per_accelerator(self, timeline):
+        text = render_timeline(timeline)
+        lines = text.splitlines()
+        assert any(line.startswith("dla ") or line.startswith(" dla") or "dla |" in line for line in lines)
+        assert any("gpu |" in line for line in lines)
+
+    def test_axis_shows_makespan(self, timeline):
+        assert "2.00 ms" in render_timeline(timeline)
+
+    def test_legend_names(self, timeline):
+        text = render_timeline(timeline, legend=["vgg19", "resnet"])
+        assert "vgg19" in text and "resnet" in text
+        assert "transition" in text
+
+    def test_distinct_glyphs_per_stream(self, timeline):
+        text = render_timeline(timeline)
+        assert "▓" in text and "▒" in text
+
+    def test_transition_glyph(self, timeline):
+        assert "*" in render_timeline(timeline)
+
+    def test_width_respected(self, timeline):
+        text = render_timeline(timeline, width=30)
+        gpu_line = next(l for l in text.splitlines() if "gpu |" in l)
+        inner = gpu_line.split("|")[1]
+        assert len(inner) == 30
+
+    def test_empty_timeline(self):
+        assert "empty" in render_timeline(Timeline([], []))
+
+
+class TestRenderPrediction:
+    def test_renders_scheduler_view(self, xavier, xavier_db):
+        from repro.core.baselines import naive_concurrent
+        from repro.core.workload import Workload
+
+        workload = Workload.concurrent(
+            "googlenet", "resnet18", objective="latency"
+        )
+        result = naive_concurrent(
+            workload, xavier, db=xavier_db, max_groups=6
+        )
+        text = render_prediction(
+            result.predicted, legend=list(workload.names)
+        )
+        assert "gpu |" in text
+        assert "googlenet" in text

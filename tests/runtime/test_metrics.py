@@ -1,0 +1,41 @@
+"""Latency/FPS helpers."""
+
+import pytest
+
+from repro.runtime.metrics import (
+    fps_from_latency,
+    improvement_percent,
+    speedup,
+)
+
+
+class TestFps:
+    def test_basic(self):
+        assert fps_from_latency(10.0) == pytest.approx(100.0)
+
+    def test_multiple_frames(self):
+        assert fps_from_latency(10.0, frames=2) == pytest.approx(200.0)
+
+    def test_zero_latency(self):
+        assert fps_from_latency(0.0) == float("inf")
+
+
+class TestImprovement:
+    def test_positive_when_faster(self):
+        assert improvement_percent(10.0, 8.0) == pytest.approx(20.0)
+
+    def test_negative_when_slower(self):
+        assert improvement_percent(10.0, 12.0) == pytest.approx(-20.0)
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(12.0, 10.0) == pytest.approx(1.2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)

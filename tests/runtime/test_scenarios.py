@@ -1,0 +1,116 @@
+"""Scenario drivers (paper Section 5)."""
+
+import functools
+
+import pytest
+
+from repro.core.baselines import gpu_only, naive_concurrent
+from repro.runtime.scenarios import (
+    scenario1_same_dnn,
+    scenario2_parallel,
+    scenario3_pipeline,
+    scenario4_hybrid,
+)
+
+
+@pytest.fixture(scope="module")
+def fast_scheduler(xavier, xavier_db):
+    return functools.partial(
+        gpu_only, platform=xavier, db=xavier_db, max_groups=6
+    )
+
+
+@pytest.fixture(scope="module")
+def naive_scheduler(xavier, xavier_db):
+    return functools.partial(
+        naive_concurrent, platform=xavier, db=xavier_db, max_groups=6
+    )
+
+
+class TestScenario1:
+    def test_two_instances(self, xavier, fast_scheduler):
+        out = scenario1_same_dnn("googlenet", fast_scheduler, xavier)
+        assert out.scenario == "scenario1"
+        assert len(out.workload) == 2
+        assert out.workload.objective == "throughput"
+        assert out.fps == pytest.approx(2e3 / out.latency_ms)
+
+    def test_three_instances(self, xavier, fast_scheduler):
+        out = scenario1_same_dnn(
+            "resnet18", fast_scheduler, xavier, instances=3
+        )
+        assert len(out.workload) == 3
+
+
+class TestScenario2:
+    def test_parallel_pair(self, xavier, naive_scheduler):
+        out = scenario2_parallel(
+            "googlenet", "resnet101", naive_scheduler, xavier
+        )
+        assert out.workload.objective == "latency"
+        assert out.latency_ms > 0
+        assert out.predicted_ms > 0
+
+    def test_scheduler_name_exposed(self, xavier, naive_scheduler):
+        out = scenario2_parallel(
+            "googlenet", "resnet101", naive_scheduler, xavier
+        )
+        assert out.scheduler_name == "naive-gpu-dsa"
+
+
+class TestScenario3:
+    def test_frame_dependency_respected(self, xavier, naive_scheduler):
+        """Frame r of DNN2 starts only after frame r of DNN1."""
+        out = scenario3_pipeline(
+            "googlenet", "resnet101", naive_scheduler, xavier
+        )
+        timeline = out.execution.timeline
+        for rep in range(3):
+            upstream_end = max(
+                r.end for r in timeline.select(dnn=0, rep=rep, role="group")
+            )
+            downstream_start = min(
+                r.start
+                for r in timeline.select(dnn=1, rep=rep, role="group")
+            )
+            assert downstream_start >= upstream_end - 1e-9
+
+    def test_steady_state_overlaps_frames(self, xavier, naive_scheduler):
+        """Frame k+1 of DNN1 overlaps frame k of DNN2 -- that's where
+        pipeline throughput comes from."""
+        out = scenario3_pipeline(
+            "googlenet", "resnet101", naive_scheduler, xavier
+        )
+        timeline = out.execution.timeline
+        up_r1 = timeline.select(dnn=0, rep=1, role="group")
+        down_r0 = timeline.select(dnn=1, rep=0, role="group")
+        up_start = min(r.start for r in up_r1)
+        down_end = max(r.end for r in down_r0)
+        assert up_start < down_end
+
+    def test_throughput_objective_default(self, xavier, naive_scheduler):
+        out = scenario3_pipeline(
+            "googlenet", "resnet18", naive_scheduler, xavier
+        )
+        assert out.workload.objective == "throughput"
+
+
+class TestScenario4:
+    def test_chain_plus_parallel(self, xavier, naive_scheduler):
+        out = scenario4_hybrid(
+            ("googlenet", "resnet18"),
+            "resnet50",
+            naive_scheduler,
+            xavier,
+        )
+        assert out.workload.names[0] == "googlenet+resnet18"
+        assert out.latency_ms > 0
+
+    def test_chain_groups_concatenated(self, xavier, naive_scheduler):
+        out = scenario4_hybrid(
+            ("googlenet", "resnet18"),
+            "resnet50",
+            naive_scheduler,
+            xavier,
+        )
+        assert len(out.schedule[0]) > len(out.schedule[1])

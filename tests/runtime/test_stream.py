@@ -1,0 +1,118 @@
+"""Streaming driver: arrivals, percentiles, back-pressure, deadlines."""
+
+import pytest
+
+from repro.core.baselines import gpu_only, naive_concurrent
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.runtime.stream import run_stream
+
+
+@pytest.fixture(scope="module")
+def result(xavier, xavier_db):
+    workload = Workload.concurrent(
+        "googlenet", "resnet18", objective="latency"
+    )
+    return naive_concurrent(workload, xavier, db=xavier_db, max_groups=6)
+
+
+@pytest.fixture(scope="module")
+def round_ms(result, xavier):
+    from repro.runtime.executor import run_schedule
+
+    return run_schedule(result, xavier).latency_ms
+
+
+class TestArrivals:
+    def test_frame_count(self, result, xavier):
+        stats = run_stream(result, xavier, fps=50, frames=8)
+        assert len(stats.arrivals) == 8
+        assert len(stats.completions) == 8
+
+    def test_periodic_arrivals(self, result, xavier):
+        stats = run_stream(result, xavier, fps=100, frames=5)
+        gaps = [
+            b - a for a, b in zip(stats.arrivals, stats.arrivals[1:])
+        ]
+        assert all(g == pytest.approx(0.01) for g in gaps)
+
+    def test_jitter_perturbs_deterministically(self, result, xavier):
+        a = run_stream(
+            result, xavier, fps=100, frames=5, jitter_frac=0.2, seed=1
+        )
+        b = run_stream(
+            result, xavier, fps=100, frames=5, jitter_frac=0.2, seed=1
+        )
+        assert a.arrivals == b.arrivals
+        c = run_stream(
+            result, xavier, fps=100, frames=5, jitter_frac=0.2, seed=2
+        )
+        assert a.arrivals != c.arrivals
+
+    def test_validation(self, result, xavier):
+        with pytest.raises(ValueError):
+            run_stream(result, xavier, fps=0)
+        with pytest.raises(ValueError):
+            run_stream(result, xavier, fps=30, frames=0)
+        with pytest.raises(ValueError):
+            run_stream(result, xavier, fps=30, jitter_frac=1.5)
+
+
+class TestLatency:
+    def test_underloaded_stream_matches_single_round(
+        self, result, xavier, round_ms
+    ):
+        """At a slow frame rate every frame sees an idle system."""
+        stats = run_stream(result, xavier, fps=10, frames=5)
+        assert stats.p50_ms == pytest.approx(round_ms, rel=0.05)
+        assert stats.sustained_fps == pytest.approx(10, rel=0.15)
+
+    def test_overloaded_stream_queues(self, result, xavier, round_ms):
+        """Arrivals faster than the round time build a backlog: later
+        frames wait, tail latency grows."""
+        fast_fps = 2.5e3 / round_ms  # ~2.5x the sustainable rate
+        stats = run_stream(result, xavier, fps=fast_fps, frames=10)
+        latencies = stats.frame_latencies_s
+        assert latencies[-1] > latencies[0] * 1.5
+        assert stats.p99_ms > stats.p50_ms
+
+    def test_deadline_miss_rate(self, result, xavier, round_ms):
+        relaxed = run_stream(
+            result,
+            xavier,
+            fps=10,
+            frames=5,
+            deadline_s=round_ms * 2e-3,
+        )
+        assert relaxed.deadline_miss_rate == 0.0
+        strict = run_stream(
+            result,
+            xavier,
+            fps=10,
+            frames=5,
+            deadline_s=round_ms * 0.5e-3,
+        )
+        assert strict.deadline_miss_rate == 1.0
+
+    def test_no_deadline_means_no_misses(self, result, xavier):
+        stats = run_stream(result, xavier, fps=10, frames=3)
+        assert stats.deadline_miss_rate == 0.0
+
+
+class TestSchedulersUnderStreaming:
+    def test_haxconn_sustains_higher_fps(self, xavier, xavier_db):
+        """The better schedule's advantage survives streaming: at a
+        rate the serial baseline cannot sustain, HaX-CoNN's tail
+        latency stays lower."""
+        workload = Workload.concurrent(
+            "vgg19", "resnet152", objective="latency"
+        )
+        scheduler = HaXCoNN(
+            xavier, db=xavier_db, max_groups=8, max_transitions=1
+        )
+        hax = scheduler.schedule(workload)
+        serial = gpu_only(workload, xavier, db=xavier_db, max_groups=8)
+        fps = 70.0  # between the two schedules' sustainable rates
+        hax_stats = run_stream(hax, xavier, fps=fps, frames=12)
+        serial_stats = run_stream(serial, xavier, fps=fps, frames=12)
+        assert hax_stats.p99_ms < serial_stats.p99_ms

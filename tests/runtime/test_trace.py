@@ -1,0 +1,90 @@
+"""Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.runtime.trace import export_chrome_trace, timeline_to_trace_events
+from repro.soc.timeline import ContentionInterval, Timeline, TaskRecord
+
+
+@pytest.fixture
+def timeline():
+    return Timeline(
+        records=[
+            TaskRecord(
+                "g0", "gpu", 0.0, 1e-3, 0.9e-3,
+                meta={"dnn": 0, "role": "group", "label": "0-5"},
+            ),
+            TaskRecord(
+                "f0", "dla", 1e-3, 1.1e-3, 0.1e-3,
+                meta={"dnn": 0, "role": "flush"},
+            ),
+        ],
+        intervals=[ContentionInterval(0.0, 1e-3, {"g0": 50e9})],
+    )
+
+
+class TestTraceEvents:
+    def test_complete_events_per_record(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        slices = [e for e in events if e["ph"] == "X"]
+        assert len(slices) == 2
+
+    def test_microsecond_units(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        g0 = next(e for e in events if e["cat"] == "group")
+        assert g0["ts"] == pytest.approx(0.0)
+        assert g0["dur"] == pytest.approx(1000.0)
+
+    def test_thread_metadata_per_accel(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in meta}
+        assert names == {"gpu", "dla"}
+
+    def test_counter_events_for_intervals(self, timeline):
+        events = timeline_to_trace_events(timeline)
+        counters = [e for e in events if e["ph"] == "C"]
+        assert len(counters) == 1
+        assert counters[0]["args"]["g0"] == pytest.approx(50.0)
+
+    def test_stream_names(self, timeline):
+        events = timeline_to_trace_events(
+            timeline, stream_names=["vgg19"]
+        )
+        g0 = next(e for e in events if e["cat"] == "group")
+        assert g0["name"].startswith("vgg19:")
+
+
+class TestExport:
+    def test_roundtrips_as_json(self, timeline, tmp_path):
+        path = export_chrome_trace(timeline, tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        assert payload["traceEvents"]
+
+    def test_export_real_execution(self, xavier, xavier_db, tmp_path):
+        from repro.core.baselines import naive_concurrent
+        from repro.core.workload import Workload
+        from repro.runtime.executor import run_schedule
+
+        workload = Workload.concurrent(
+            "googlenet", "resnet18", objective="latency"
+        )
+        result = naive_concurrent(
+            workload, xavier, db=xavier_db, max_groups=6
+        )
+        execution = run_schedule(result, xavier)
+        path = export_chrome_trace(
+            execution.timeline,
+            tmp_path / "run.json",
+            stream_names=list(workload.names),
+        )
+        payload = json.loads(path.read_text())
+        groups = [
+            e
+            for e in payload["traceEvents"]
+            if e.get("cat") == "group"
+        ]
+        assert len(groups) == 12

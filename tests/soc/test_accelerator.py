@@ -1,0 +1,96 @@
+"""Accelerator spec validation and derived factors."""
+
+import dataclasses
+
+import pytest
+
+from repro.soc.accelerator import AcceleratorSpec, DSA_KIND_EFF, GPU_KIND_EFF
+
+
+def make_spec(**overrides):
+    base = dict(
+        name="gpu",
+        family="gpu",
+        peak_flops=10e12,
+        kind_eff=GPU_KIND_EFF,
+        saturation_outputs=50_000.0,
+        standalone_bw_frac=0.7,
+        launch_overhead_s=5e-6,
+    )
+    base.update(overrides)
+    return AcceleratorSpec(**base)
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        assert make_spec().name == "gpu"
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("peak_flops", 0.0),
+            ("peak_flops", -1.0),
+            ("standalone_bw_frac", 0.0),
+            ("standalone_bw_frac", 1.5),
+            ("saturation_outputs", 0.0),
+            ("time_scale", 0.0),
+            ("transition_bw_frac", 0.0),
+        ],
+    )
+    def test_rejects_bad_values(self, field, value):
+        with pytest.raises(ValueError):
+            make_spec(**{field: value})
+
+    def test_frozen(self):
+        spec = make_spec()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            spec.peak_flops = 1.0  # type: ignore[misc]
+
+
+class TestEfficiency:
+    def test_known_kind(self):
+        assert make_spec().efficiency("conv") == GPU_KIND_EFF["conv"]
+
+    def test_unknown_kind_gets_floor(self):
+        assert make_spec().efficiency("mystery") == 0.05
+
+    def test_unsupported_kind_is_zero(self):
+        spec = make_spec(unsupported_kinds=frozenset({"lrn"}))
+        assert spec.efficiency("lrn") == 0.0
+
+    def test_supports_kinds(self):
+        spec = make_spec(unsupported_kinds=frozenset({"lrn", "softmax"}))
+        assert spec.supports_kinds(frozenset({"conv", "pool"}))
+        assert not spec.supports_kinds(frozenset({"conv", "lrn"}))
+
+    def test_dsa_efficiencies_favor_conv(self):
+        assert DSA_KIND_EFF["conv"] > DSA_KIND_EFF["fc"]
+
+
+class TestFactors:
+    def test_bandwidth_factor_defaults_to_one(self):
+        assert make_spec().bandwidth_factor("conv") == 1.0
+
+    def test_bandwidth_factor_override(self):
+        spec = make_spec(kind_bw={"fc": 2.0})
+        assert spec.bandwidth_factor("fc") == 2.0
+        assert spec.bandwidth_factor("conv") == 1.0
+
+    def test_kernel_factor_disabled_by_default(self):
+        assert make_spec().kernel_factor(11) == 1.0
+
+    def test_kernel_factor_penalizes_large_kernels(self):
+        spec = make_spec(kernel_sweet_spot=4)
+        assert spec.kernel_factor(3) == 1.0
+        assert spec.kernel_factor(4) == 1.0
+        assert spec.kernel_factor(8) == pytest.approx(0.5)
+
+    def test_scaled_copy(self):
+        spec = make_spec()
+        scaled = spec.scaled(0.5)
+        assert scaled.time_scale == 0.5
+        assert scaled.peak_flops == spec.peak_flops
+        assert spec.time_scale == 1.0  # original untouched
+
+    def test_str_is_name(self):
+        assert str(make_spec()) == "gpu"

@@ -1,0 +1,137 @@
+"""Platform registry and Table 4 specifications."""
+
+import pytest
+
+from repro.soc.platform import Platform, available_platforms, get_platform
+
+
+class TestRegistry:
+    def test_registered_platforms(self):
+        assert available_platforms() == [
+            "orin",
+            "sd865",
+            "trident",
+            "xavier",
+        ]
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            get_platform("jetson_nano")
+
+    def test_case_insensitive(self):
+        assert get_platform("ORIN").name == "orin"
+
+    def test_calibrated_platforms_are_cached(self):
+        assert get_platform("xavier") is get_platform("xavier")
+
+    def test_uncalibrated_has_unit_scales(self):
+        raw = get_platform("xavier", calibrated=False)
+        assert all(a.time_scale == 1.0 for a in raw.accelerators)
+
+    def test_calibrated_scales_differ(self):
+        cal = get_platform("xavier")
+        assert any(a.time_scale != 1.0 for a in cal.accelerators)
+
+
+class TestTable4Specs:
+    """The hardware facts of paper Table 4."""
+
+    def test_orin_bandwidth(self, orin):
+        assert orin.dram_bandwidth == pytest.approx(204.8e9)
+
+    def test_xavier_bandwidth(self, xavier):
+        assert xavier.dram_bandwidth == pytest.approx(136.5e9)
+
+    def test_sd865_bandwidth(self, sd865):
+        assert sd865.dram_bandwidth == pytest.approx(34.1e9)
+
+    def test_nvidia_platforms_have_dla(self, orin, xavier):
+        assert orin.dsa.family == "dla"
+        assert xavier.dsa.family == "dla"
+
+    def test_sd865_has_hexagon_dsp(self, sd865):
+        assert sd865.dsa.family == "dsp"
+        assert sd865.dsa.name == "dsp"
+
+    def test_every_platform_has_gpu(self, orin, xavier, sd865):
+        for p in (orin, xavier, sd865):
+            assert p.gpu.family == "gpu"
+
+    def test_orin_gpu_faster_than_xavier(self, orin, xavier):
+        assert orin.gpu.peak_flops > xavier.gpu.peak_flops
+
+    def test_nvdla_v2_faster_than_v1(self, orin, xavier):
+        assert orin.dsa.peak_flops > xavier.dsa.peak_flops
+
+
+class TestPlatformBehaviour:
+    def test_accel_lookup(self, xavier):
+        assert xavier.accel("gpu").name == "gpu"
+        with pytest.raises(KeyError):
+            xavier.accel("npu")
+
+    def test_accelerator_names(self, xavier):
+        assert xavier.accelerator_names == ("gpu", "dla")
+
+    def test_emc_capacity_degrades_with_clients(self, xavier):
+        solo = xavier.emc_capacity(1)
+        duo = xavier.emc_capacity(2)
+        trio = xavier.emc_capacity(3)
+        assert solo == pytest.approx(xavier.dram_bandwidth)
+        assert solo > duo > trio
+
+    def test_emc_capacity_clamps_client_count(self, xavier):
+        assert xavier.emc_capacity(10) == xavier.emc_capacity(3)
+        assert xavier.emc_capacity(0) == xavier.dram_bandwidth
+
+    def test_densenet_blocked_on_xavier_dla(self, xavier):
+        """The '-' cell of paper Table 5."""
+        assert xavier.blocked("dla", "densenet121")
+        assert not xavier.blocked("gpu", "densenet121")
+
+    def test_densenet_fine_on_orin_dla(self, orin):
+        assert not orin.blocked("dla", "densenet121")
+
+    def test_with_scales(self, xavier):
+        scaled = xavier.with_scales({"gpu": 2.0})
+        assert scaled.accel("gpu").time_scale == pytest.approx(2.0)
+        assert scaled.accel("dla").time_scale == xavier.accel("dla").time_scale
+
+
+class TestValidation:
+    def test_needs_accelerators(self, xavier):
+        with pytest.raises(ValueError):
+            Platform(name="empty", accelerators=(), dram_bandwidth=1e9)
+
+    def test_rejects_duplicate_accel_names(self, xavier):
+        gpu = xavier.gpu
+        with pytest.raises(ValueError):
+            Platform(
+                name="dup", accelerators=(gpu, gpu), dram_bandwidth=1e9
+            )
+
+    def test_rejects_bad_bandwidth(self, xavier):
+        with pytest.raises(ValueError):
+            Platform(
+                name="bad",
+                accelerators=(xavier.gpu,),
+                dram_bandwidth=0.0,
+            )
+
+    def test_rejects_bad_capacity_frac(self, xavier):
+        with pytest.raises(ValueError):
+            Platform(
+                name="bad",
+                accelerators=(xavier.gpu,),
+                dram_bandwidth=1e9,
+                emc_capacity_frac=(1.2,),
+            )
+
+    def test_rejects_bad_interference(self, xavier):
+        with pytest.raises(ValueError):
+            Platform(
+                name="bad",
+                accelerators=(xavier.gpu,),
+                dram_bandwidth=1e9,
+                interference_coeff=1.0,
+            )

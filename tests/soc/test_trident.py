@@ -1,0 +1,93 @@
+"""The hypothetical 3-DSA platform (generality extension).
+
+The paper limits its evaluation to two DSAs because no off-the-shelf
+SoC ships more; the formulation generalizes, and these tests exercise
+the whole pipeline -- profiling, PCCS, solving, execution -- with
+three accelerators and three concurrent streams.
+"""
+
+import pytest
+
+from repro.core.haxconn import HaXCoNN, enumerate_assignments
+from repro.core.workload import Workload
+from repro.profiling.database import ProfileDB
+from repro.runtime.executor import run_schedule
+from repro.soc.platform import get_platform
+
+
+@pytest.fixture(scope="module")
+def trident():
+    return get_platform("trident")
+
+
+@pytest.fixture(scope="module")
+def trident_db(trident):
+    return ProfileDB(trident)
+
+
+class TestPlatform:
+    def test_three_accelerators(self, trident):
+        assert trident.accelerator_names == ("gpu", "dla", "dsp")
+
+    def test_borrows_orin_scales(self, trident, orin):
+        assert trident.accel("gpu").time_scale == pytest.approx(
+            orin.accel("gpu").time_scale
+        )
+        assert trident.accel("dsp").time_scale == 1.0
+
+    def test_capacity_curve_covers_four_clients(self, trident):
+        assert trident.emc_capacity(4) < trident.emc_capacity(2)
+
+
+class TestProfiling:
+    def test_profiles_cover_all_dsas(self, trident_db):
+        profile = trident_db.profile("resnet18", max_groups=6)
+        middle = profile.groups[2]
+        assert set(middle.time_s) == {"gpu", "dla", "dsp"}
+
+    def test_transitions_for_every_pair(self, trident_db):
+        profile = trident_db.profile("resnet18", max_groups=6)
+        assert len(profile.groups[0].transition_s) == 6  # 3P2 pairs
+
+    def test_pccs_fits_three_clients(self, trident_db):
+        assert 3 in trident_db.pccs.tables
+
+
+class TestScheduling:
+    def test_assignment_domain_spans_three_dsas(self, trident_db, trident):
+        profile = trident_db.profile("resnet18", max_groups=6)
+        domain = enumerate_assignments(
+            profile, trident.accelerator_names, max_transitions=1
+        )
+        used = {a for assignment in domain for a in assignment}
+        assert used == {"gpu", "dla", "dsp"}
+
+    def test_three_streams_schedule_and_run(self, trident, trident_db):
+        scheduler = HaXCoNN(
+            trident, db=trident_db, max_groups=5, max_transitions=1
+        )
+        workload = Workload.concurrent(
+            "googlenet", "resnet50", "resnet18", objective="latency"
+        )
+        result = scheduler.schedule(workload)
+        execution = run_schedule(result, trident)
+        assert execution.latency_ms > 0
+        assert result.predicted.makespan == pytest.approx(
+            execution.makespan_s, rel=0.15
+        )
+
+    def test_never_worse_than_gpu_only(self, trident, trident_db):
+        from repro.core.baselines import gpu_only
+
+        scheduler = HaXCoNN(
+            trident, db=trident_db, max_groups=5, max_transitions=1
+        )
+        workload = Workload.concurrent(
+            "googlenet", "resnet50", "resnet18", objective="latency"
+        )
+        hax = run_schedule(scheduler.schedule(workload), trident)
+        base = run_schedule(
+            gpu_only(workload, trident, db=trident_db, max_groups=5),
+            trident,
+        )
+        assert hax.latency_ms <= base.latency_ms * 1.01

@@ -1,0 +1,149 @@
+"""Branch-and-bound: certified optimality, anytime behaviour, budgets."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.solver.bnb import BranchAndBound
+from repro.solver.exhaustive import solve_exhaustive
+from repro.solver.problem import Infeasible, Problem, Variable
+
+
+def knapsack_like(weights, values, capacity):
+    """0/1 selection: minimize -value subject to weight <= capacity."""
+    n = len(weights)
+
+    def total_weight(a):
+        return sum(weights[i] for i in range(n) if a.get(f"v{i}") == 1)
+
+    def objective(a):
+        return -sum(values[i] for i in range(n) if a[f"v{i}"] == 1)
+
+    def lower_bound(a):
+        # admissible: assume every unassigned item is taken for free
+        fixed = -sum(
+            values[i] for i in range(n) if a.get(f"v{i}") == 1
+        )
+        free = -sum(values[i] for i in range(n) if f"v{i}" not in a)
+        return fixed + free
+
+    return Problem(
+        variables=[Variable(f"v{i}", (0, 1)) for i in range(n)],
+        objective=objective,
+        constraints=[lambda a: total_weight(a) <= capacity],
+        lower_bound=lower_bound,
+    )
+
+
+class TestOptimality:
+    @given(
+        data=st.lists(
+            st.tuples(st.integers(1, 9), st.integers(1, 9)),
+            min_size=1,
+            max_size=7,
+        ),
+        capacity=st.integers(1, 25),
+    )
+    def test_matches_exhaustive(self, data, capacity):
+        weights = [w for w, _ in data]
+        values = [v for _, v in data]
+        problem = knapsack_like(weights, values, capacity)
+        bnb = BranchAndBound().solve(problem)
+        brute = solve_exhaustive(problem)
+        assert bnb.optimal
+        assert bnb.best is not None and brute.best is not None
+        assert bnb.best.objective == pytest.approx(brute.best.objective)
+
+    def test_prunes_the_tree(self):
+        """B&B visits fewer nodes than the full tree (internal nodes
+        included: sum of 2^k for k=1..5 is 62 for five binary vars)."""
+        problem = knapsack_like([3, 4, 5, 6, 7], [5, 6, 7, 8, 9], 12)
+        bnb = BranchAndBound().solve(problem)
+        assert bnb.optimal
+        assert bnb.nodes_explored < 62
+
+    def test_infeasible_problem(self):
+        problem = Problem(
+            variables=[Variable("x", (0, 1))],
+            objective=lambda a: 0.0,
+            constraints=[lambda a: False],
+        )
+        result = BranchAndBound().solve(problem)
+        assert result.best is None
+        assert result.optimal
+        with pytest.raises(Infeasible):
+            result.assignment
+
+    def test_objective_raising_infeasible_is_skipped(self):
+        def objective(a):
+            if a["x"] == 0:
+                raise Infeasible("nope")
+            return float(a["x"])
+
+        problem = Problem(
+            variables=[Variable("x", (0, 1, 2))], objective=objective
+        )
+        result = BranchAndBound().solve(problem)
+        assert result.objective == 1.0
+
+
+class TestAnytime:
+    def test_incumbents_strictly_improve(self):
+        problem = knapsack_like([2, 3, 4, 5], [3, 4, 5, 6], 9)
+        result = BranchAndBound().solve(problem)
+        objs = [i.objective for i in result.incumbents]
+        assert objs == sorted(objs, reverse=True)
+        assert len(set(objs)) == len(objs)
+
+    def test_callback_invoked_per_incumbent(self):
+        seen = []
+        problem = knapsack_like([2, 3, 4], [3, 4, 5], 7)
+        BranchAndBound(on_incumbent=seen.append).solve(problem)
+        assert seen
+        assert seen[-1].objective == min(i.objective for i in seen)
+
+    def test_seed_bounds_the_result(self):
+        problem = knapsack_like([2, 3, 4], [3, 4, 5], 7)
+        optimal = BranchAndBound().solve(problem).objective
+        seeded = BranchAndBound().solve(
+            problem, initial={"v0": 1, "v1": 0, "v2": 1}
+        )
+        assert seeded.objective <= -8  # seed value
+        assert seeded.objective == pytest.approx(optimal)
+
+    def test_infeasible_seed_ignored(self):
+        problem = knapsack_like([5, 5], [1, 1], 4)
+        result = BranchAndBound().solve(
+            problem, initial={"v0": 1, "v1": 1}
+        )
+        assert result.optimal
+
+
+class TestBudgets:
+    def test_node_budget_stops_search(self):
+        problem = knapsack_like(
+            list(range(1, 11)), list(range(1, 11)), 30
+        )
+        result = BranchAndBound(node_budget=5).solve(problem)
+        assert not result.optimal
+
+    def test_budget_result_is_best_so_far(self):
+        problem = knapsack_like([2, 3, 4, 5], [3, 4, 5, 6], 9)
+        full = BranchAndBound().solve(problem)
+        capped = BranchAndBound(node_budget=8).solve(problem)
+        if capped.best is not None:
+            assert capped.objective >= full.objective
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            BranchAndBound(node_budget=0)
+        with pytest.raises(ValueError):
+            BranchAndBound(time_budget_s=0.0)
+
+
+class TestExhaustive:
+    def test_counts_all_assignments(self):
+        problem = knapsack_like([1, 1], [1, 1], 5)
+        result = solve_exhaustive(problem)
+        assert result.nodes_explored == 4
+        assert result.optimal

@@ -1,0 +1,59 @@
+"""Finite-domain problem definition."""
+
+import pytest
+
+from repro.solver.problem import Infeasible, Problem, Variable
+
+
+def simple_problem():
+    return Problem(
+        variables=[
+            Variable("x", (0, 1, 2)),
+            Variable("y", (0, 1)),
+        ],
+        objective=lambda a: a["x"] + 2 * a["y"],
+        constraints=[lambda a: a.get("x", 0) != 2 or a.get("y", 1) != 0],
+    )
+
+
+class TestVariable:
+    def test_empty_domain_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("x", (1, 1))
+
+
+class TestProblem:
+    def test_search_space_size(self):
+        assert simple_problem().search_space_size == 6
+
+    def test_duplicate_variable_names_rejected(self):
+        with pytest.raises(ValueError):
+            Problem(
+                variables=[Variable("x", (0,)), Variable("x", (1,))],
+                objective=lambda a: 0.0,
+            )
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Problem(variables=[], objective=lambda a: 0.0)
+
+    def test_feasible_checks_constraints(self):
+        p = simple_problem()
+        assert p.feasible({"x": 0, "y": 0})
+        assert not p.feasible({"x": 2, "y": 0})
+
+    def test_evaluate(self):
+        p = simple_problem()
+        assert p.evaluate({"x": 1, "y": 1}) == 3
+
+    def test_evaluate_missing_variable(self):
+        with pytest.raises(ValueError):
+            simple_problem().evaluate({"x": 1})
+
+    def test_evaluate_infeasible(self):
+        with pytest.raises(Infeasible):
+            simple_problem().evaluate({"x": 2, "y": 0})

@@ -1,0 +1,112 @@
+"""The Z3-style Optimize facade."""
+
+import pytest
+
+from repro.solver.smt import Optimizer, Unsatisfiable
+
+
+class TestDeclaration:
+    def test_enum_var(self):
+        opt = Optimizer()
+        x = opt.enum_var("x", [10, 20])
+        opt.minimize(lambda m: m["x"])
+        assert x(opt.check()) == 10
+
+    def test_bool_var(self):
+        opt = Optimizer()
+        opt.bool_var("b")
+        opt.maximize(lambda m: 1 if m["b"] else 0)
+        assert opt.check()["b"] is True
+
+    def test_int_var(self):
+        opt = Optimizer()
+        opt.int_var("k", 3, 7)
+        opt.minimize(lambda m: abs(m["k"] - 5))
+        assert opt.check()["k"] == 5
+
+    def test_empty_int_range_rejected(self):
+        with pytest.raises(ValueError):
+            Optimizer().int_var("k", 5, 2)
+
+    def test_no_variables_rejected(self):
+        with pytest.raises(ValueError):
+            Optimizer().check()
+
+
+class TestConstraintsAndObjectives:
+    def test_docstring_example(self):
+        opt = Optimizer()
+        opt.enum_var("x", [0, 1, 2])
+        opt.enum_var("y", [0, 1])
+        opt.add(lambda m: m["x"] + m["y"] <= 2)
+        opt.minimize(lambda m: -(m["x"] + 2 * m["y"]))
+        model = opt.check()
+        assert (model["x"], model["y"]) == (1, 1)
+
+    def test_unsatisfiable(self):
+        opt = Optimizer()
+        opt.bool_var("b")
+        opt.add(lambda m: False)
+        with pytest.raises(Unsatisfiable):
+            opt.check()
+
+    def test_partial_model_key_errors_tolerated(self):
+        """Constraints touching undecided variables defer gracefully."""
+        opt = Optimizer()
+        opt.enum_var("x", [0, 1])
+        opt.enum_var("y", [0, 1])
+        opt.add(lambda m: m["x"] != m["y"])  # KeyError while y unset
+        opt.minimize(lambda m: m["x"])
+        model = opt.check()
+        assert model["x"] != model["y"]
+
+    def test_maximize(self):
+        opt = Optimizer()
+        opt.int_var("k", 0, 9)
+        opt.maximize(lambda m: m["k"])
+        assert opt.check()["k"] == 9
+
+    def test_statistics_after_check(self):
+        opt = Optimizer()
+        opt.int_var("k", 0, 3)
+        opt.minimize(lambda m: m["k"])
+        opt.check()
+        assert opt.statistics.optimal
+        assert opt.statistics.nodes_explored >= 1
+
+    def test_statistics_before_check(self):
+        opt = Optimizer()
+        opt.int_var("k", 0, 3)
+        with pytest.raises(RuntimeError):
+            opt.statistics
+
+    def test_scheduling_shaped_problem(self):
+        """A miniature Eq. 1-style mapping: two 3-group DNNs, two
+        accelerators, minimize the bottleneck accelerator load."""
+        times = {  # (dnn, group, accel) -> time
+            (n, g, a): (1 + n + g) * (1.0 if a == "gpu" else 1.6)
+            for n in range(2)
+            for g in range(3)
+            for a in ("gpu", "dla")
+        }
+        opt = Optimizer()
+        for n in range(2):
+            for g in range(3):
+                opt.enum_var(f"s{n}{g}", ("gpu", "dla"))
+
+        def load(model, accel):
+            return sum(
+                times[(n, g, accel)]
+                for n in range(2)
+                for g in range(3)
+                if model[f"s{n}{g}"] == accel
+            )
+
+        opt.minimize(lambda m: max(load(m, "gpu"), load(m, "dla")))
+        model = opt.check()
+        assert opt.statistics.optimal
+        # both accelerators must end up used
+        assert {model[f"s{n}{g}"] for n in range(2) for g in range(3)} == {
+            "gpu",
+            "dla",
+        }

@@ -1,0 +1,97 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = cli.build_parser().parse_args(
+            ["schedule", "vgg19", "resnet152"]
+        )
+        assert args.models == ["vgg19", "resnet152"]
+        assert args.platform == "orin"
+        assert args.objective == "latency"
+
+    def test_schedule_overrides(self):
+        args = cli.build_parser().parse_args(
+            [
+                "schedule",
+                "googlenet",
+                "--platform",
+                "xavier",
+                "--objective",
+                "throughput",
+                "--max-transitions",
+                "1",
+            ]
+        )
+        assert args.platform == "xavier"
+        assert args.max_transitions == 1
+
+    def test_invalid_objective_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["schedule", "vgg19", "--objective", "speed"]
+            )
+
+
+class TestCommands:
+    def test_platforms(self, capsys):
+        assert cli.main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "orin" in out and "xavier" in out and "sd865" in out
+
+    def test_models(self, capsys):
+        assert cli.main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg19" in out and "GFLOPs" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert cli.main(["experiment", "table99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_experiment_table2(self, capsys):
+        assert cli.main(["experiment", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "GoogleNet layer groups" in out
+
+    def test_experiment_registry_complete(self):
+        assert set(cli.EXPERIMENTS) == {
+            "fig1",
+            "table2",
+            "fig3",
+            "fig4",
+            "table5",
+            "fig5",
+            "table6",
+            "fig6",
+            "fig7",
+            "table7",
+            "table8",
+            "sensitivity",
+            "batching",
+            "dsa-design",
+        }
+
+    def test_schedule_command(self, capsys):
+        code = cli.main(
+            [
+                "schedule",
+                "googlenet",
+                "resnet18",
+                "--platform",
+                "xavier",
+                "--max-transitions",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "measured latency" in out
+        assert "baseline" in out

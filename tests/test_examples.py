@@ -1,0 +1,48 @@
+"""The example scripts run end to end.
+
+Each example is executed in-process with a light configuration so the
+suite stays fast; what matters is that the public API surfaces they
+exercise keep working.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, argv: list[str]) -> None:
+    old_argv = sys.argv
+    sys.argv = [str(EXAMPLES / name), *argv]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "autonomous_pipeline.py",
+            "dynamic_drone.py",
+            "profiling_tour.py",
+            "streaming_qos.py",
+        } <= names
+
+    def test_profiling_tour(self, capsys):
+        run_example("profiling_tour.py", ["googlenet", "xavier"])
+        out = capsys.readouterr().out
+        assert "layer groups" in out
+        assert "PCCS slowdown surface" in out
+
+    @pytest.mark.slow
+    def test_quickstart(self, capsys):
+        run_example("quickstart.py", ["xavier"])
+        out = capsys.readouterr().out
+        assert "HaX-CoNN schedule" in out
+        assert "Improvement over the best baseline" in out
