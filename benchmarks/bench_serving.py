@@ -1,0 +1,39 @@
+"""Serving smoke benchmark: the online layer on a small request trace.
+
+This is the tier-1 serving gate (wired into the default pytest run via
+``testpaths``): a short changing-mix request trace served under all
+three policies must show the cache-plus-anytime policy matching or
+beating GPU-only serving on measured tail latency, with every repeated
+mix answered from the schedule cache.  ``REPRO_FULL=1`` runs a longer
+horizon.
+"""
+
+from repro.experiments import serving
+
+from conftest import full_run
+
+
+def test_bench_serving(benchmark, save_report):
+    if full_run():
+        kwargs = {"horizon_s": 1.0}
+    else:
+        # 0.5 s is the shortest horizon at which GPU-only serving has
+        # entered its backlog regime (shorter traces degenerate to
+        # uncontended rounds where every policy measures alike)
+        kwargs = {"horizon_s": 0.5, "max_groups": 6}
+    rows = benchmark.pedantic(
+        serving.run, kwargs=kwargs, rounds=1, iterations=1
+    )
+    save_report("serving", serving.format_results(rows))
+
+    by_policy = {str(r["policy"]): r for r in rows}
+    assert set(by_policy) == {"gpu_only", "naive", "haxconn"}
+    hax, gpu = by_policy["haxconn"], by_policy["gpu_only"]
+    # every policy serves the whole trace (no dropped work)
+    assert len({(r["served"], r["shed"]) for r in rows}) == 1
+    # contention-aware serving is never worse than GPU-only at the tail
+    assert float(hax["p99_ms"]) <= float(gpu["p99_ms"]) * 1.01
+    assert float(hax["goodput_rps"]) >= float(gpu["goodput_rps"]) * 0.99
+    # each novel mix is solved exactly once; repeats come from the cache
+    assert int(hax["solves"]) <= int(hax["rounds"]) / 2
+    assert int(hax["cache_hits"]) > 0

@@ -4,11 +4,15 @@ Subcommands
 -----------
 ``haxconn schedule MODEL1 MODEL2 [--platform P] [--objective O]``
     Find and execute the optimal co-schedule for a DNN pair.
+``haxconn serve SPEC [SPEC ...]``
+    Run the multi-tenant serving loop on a simulated SoC.  Each SPEC
+    is ``model[:rate_hz[:slo_ms]]``; the policy decides per round
+    which schedule the active tenant mix dispatches.
 ``haxconn experiment NAME``
     Regenerate a paper table/figure (``fig1``, ``table2``, ``fig3``,
     ``fig4``, ``table5``, ``fig5``, ``table6``, ``fig6``, ``fig7``,
     ``table7``, ``table8``) or one of this reproduction's studies
-    (``sensitivity``, ``batching``, ``dsa-design``).
+    (``sensitivity``, ``batching``, ``dsa-design``, ``serving``).
 ``haxconn platforms`` / ``haxconn models``
     List the modeled SoCs / the model zoo.
 """
@@ -34,7 +38,23 @@ EXPERIMENTS = {
     "sensitivity": "sensitivity",
     "batching": "batching",
     "dsa-design": "dsa_design",
+    "serving": "serving",
 }
+
+SERVE_POLICIES = ("haxconn", "gpu-only", "naive")
+
+
+def parse_tenant_spec(spec: str, index: int) -> tuple[str, float, float | None]:
+    """``model[:rate_hz[:slo_ms]]`` -> (model, rate, slo seconds)."""
+    parts = spec.split(":")
+    if len(parts) > 3:
+        raise ValueError(f"bad tenant spec {spec!r}")
+    model = parts[0]
+    rate = float(parts[1]) if len(parts) > 1 else 30.0
+    slo_s = float(parts[2]) / 1e3 if len(parts) > 2 else None
+    if rate <= 0:
+        raise ValueError(f"tenant spec {spec!r}: rate must be positive")
+    return model, rate, slo_s
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
@@ -60,6 +80,62 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         baseline = fn(workload, platform, db=scheduler.db)
         measured = run_schedule(baseline, platform)
         print(f"{label:9s} baseline: {measured.latency_ms:.2f} ms")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core import HaXCoNN
+    from repro.serve import (
+        CachedAnytimePolicy,
+        Server,
+        Tenant,
+        gpu_only_policy,
+        naive_policy,
+    )
+    from repro.serve.requests import make_arrivals
+    from repro.soc import get_platform
+
+    platform = get_platform(args.platform)
+    tenants = []
+    seen: dict[str, int] = {}
+    for k, spec in enumerate(args.tenants):
+        model, rate, slo_s = parse_tenant_spec(spec, k)
+        count = seen.get(model, 0)
+        seen[model] = count + 1
+        name = model if count == 0 else f"{model}@{count}"
+        tenants.append(
+            Tenant.of(
+                name,
+                model,
+                arrivals=make_arrivals(
+                    args.arrivals, rate, seed=args.seed + k
+                ),
+                slo_s=slo_s,
+            )
+        )
+    if args.policy == "haxconn":
+        scheduler = HaXCoNN(
+            platform, max_transitions=args.max_transitions
+        )
+        policy = CachedAnytimePolicy(
+            scheduler, max_queue_depth=args.max_queue_depth
+        )
+    elif args.policy == "gpu-only":
+        policy = gpu_only_policy(
+            platform, max_queue_depth=args.max_queue_depth
+        )
+    else:
+        policy = naive_policy(
+            platform, max_queue_depth=args.max_queue_depth
+        )
+    server = Server(
+        platform, tenants, policy, max_batch=args.max_batch
+    )
+    report = server.run(horizon_s=args.horizon)
+    print(report.describe())
+    if args.trace:
+        path = report.export_chrome_trace(args.trace)
+        print(f"Chrome trace written to {path}")
     return 0
 
 
@@ -122,6 +198,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true", help="render an ASCII timeline"
     )
     p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser(
+        "serve", help="run the multi-tenant serving loop"
+    )
+    p.add_argument(
+        "tenants",
+        nargs="+",
+        metavar="SPEC",
+        help="tenant spec: model[:rate_hz[:slo_ms]]",
+    )
+    p.add_argument("--platform", default="orin")
+    p.add_argument(
+        "--policy", choices=SERVE_POLICIES, default="haxconn"
+    )
+    p.add_argument(
+        "--arrivals",
+        choices=("poisson", "periodic", "bursty"),
+        default="poisson",
+    )
+    p.add_argument(
+        "--horizon",
+        type=float,
+        default=0.5,
+        help="virtual serving horizon in seconds",
+    )
+    p.add_argument("--max-batch", type=int, default=2)
+    p.add_argument("--max-queue-depth", type=int, default=None)
+    p.add_argument("--max-transitions", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--trace", default=None, help="write a Chrome trace JSON here"
+    )
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("name", help=f"one of {', '.join(sorted(EXPERIMENTS))}")

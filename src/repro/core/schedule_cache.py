@@ -89,6 +89,20 @@ class ScheduleCache:
             serialized=cached.serialized,
         )
 
+    def put(self, workload: Workload, schedule: Schedule) -> None:
+        """Install an externally-obtained schedule for a workload.
+
+        The serving layer's anytime path uses this to publish a
+        converged D-HaX-CoNN schedule so later occurrences of the mix
+        toggle instantly; neither a hit nor a miss is counted.
+        """
+        key = workload_signature(workload, self.scheduler)
+        self._store[key] = schedule
+
+    def signature(self, workload: Workload) -> str:
+        """This cache's key for ``workload``."""
+        return workload_signature(workload, self.scheduler)
+
     def precompute(self, workloads: list[Workload]) -> None:
         """Offline phase: solve every CFG the deployment can reach."""
         for workload in workloads:

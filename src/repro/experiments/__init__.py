@@ -19,6 +19,7 @@ fig7_dynamic       Fig. 7  (D-HaX-CoNN convergence)
 table7_overhead    Table 7 (solver co-run overhead)
 table8_exhaustive  Table 8 (all-pairs matrix on Orin)
 ablations          design-choice ablation studies (DESIGN.md section 5)
+serving            multi-tenant serving study (beyond the paper, §5b)
 =================  =================================================
 """
 

@@ -1,6 +1,11 @@
-"""Latency / FPS reporting helpers shared by the experiment suite."""
+"""Latency / FPS / SLO aggregation helpers shared by the experiment
+suite, the streaming driver, and the serving layer."""
 
 from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
 
 
 def fps_from_latency(latency_ms: float, frames: int = 1) -> float:
@@ -26,3 +31,58 @@ def speedup(baseline: float, improved: float) -> float:
     if improved <= 0:
         raise ValueError("improved time must be positive")
     return baseline / improved
+
+
+# -- sample aggregation -----------------------------------------------
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of a sample (q in [0, 100])."""
+    if not 0 <= q <= 100:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    vals = list(values)
+    if not vals:
+        raise ValueError("percentile of an empty sample")
+    return float(np.percentile(vals, q))
+
+
+def percentile_ms(latencies_s: Sequence[float], q: float) -> float:
+    """Latency percentile of a sample in seconds, reported in ms."""
+    return percentile(latencies_s, q) * 1e3
+
+
+def mean_ms(latencies_s: Sequence[float]) -> float:
+    """Mean of a latency sample in seconds, reported in ms."""
+    vals = list(latencies_s)
+    if not vals:
+        raise ValueError("mean of an empty sample")
+    return float(np.mean(vals)) * 1e3
+
+
+def deadline_miss_rate(
+    latencies_s: Iterable[float], deadline_s: float | None
+) -> float:
+    """Fraction of samples exceeding the deadline (0 when unset)."""
+    vals = list(latencies_s)
+    if deadline_s is None or not vals:
+        return 0.0
+    misses = sum(1 for lat in vals if lat > deadline_s + 1e-12)
+    return misses / len(vals)
+
+
+def goodput_rps(good_count: int, span_s: float) -> float:
+    """SLO-compliant completions per second over a serving span."""
+    if good_count < 0:
+        raise ValueError("good_count must be >= 0")
+    if span_s <= 0:
+        return float("inf") if good_count else 0.0
+    return good_count / span_s
+
+
+def utilization(busy_s: float, span_s: float) -> float:
+    """Busy fraction of a resource over a span, clamped to [0, 1]."""
+    if busy_s < 0 or span_s < 0:
+        raise ValueError("busy_s and span_s must be >= 0")
+    if span_s <= 0:
+        return 0.0
+    return min(busy_s / span_s, 1.0)

@@ -6,9 +6,11 @@ This driver closes the gap to deployment questions: given a schedule
 and a camera rate, what is the per-frame latency distribution, and how
 many frames miss their deadline?
 
-Frames arrive periodically (or with deterministic jitter) as task
-release times; each frame runs the full workload round.  Back-pressure
-is real: when a round overruns the frame period, later frames queue
+Frames arrive periodically (with deterministic jitter), as a Poisson
+process, or from any :class:`~repro.serve.requests.ArrivalProcess` --
+the same generators the multi-tenant server uses -- as task release
+times; each frame runs the full workload round.  Back-pressure is
+real: when a round overruns the frame period, later frames queue
 behind it exactly as the runtime's per-DSA queues dictate.
 """
 
@@ -17,10 +19,14 @@ from __future__ import annotations
 import dataclasses
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.haxconn import ScheduleResult
+from repro.runtime import metrics
 from repro.runtime.executor import build_tasks
+from repro.serve.requests import (
+    ArrivalProcess,
+    PeriodicArrivals,
+    PoissonArrivals,
+)
 from repro.soc.engine import Engine, SimTask
 from repro.soc.platform import Platform
 from repro.soc.timeline import Timeline
@@ -45,9 +51,7 @@ class StreamStats:
 
     def percentile_ms(self, q: float) -> float:
         """Latency percentile in milliseconds (q in [0, 100])."""
-        return float(
-            np.percentile(self.frame_latencies_s, q) * 1e3
-        )
+        return metrics.percentile_ms(self.frame_latencies_s, q)
 
     @property
     def p50_ms(self) -> float:
@@ -59,19 +63,14 @@ class StreamStats:
 
     @property
     def mean_ms(self) -> float:
-        return float(np.mean(self.frame_latencies_s) * 1e3)
+        return metrics.mean_ms(self.frame_latencies_s)
 
     @property
     def deadline_miss_rate(self) -> float:
         """Fraction of frames exceeding the deadline (0 when unset)."""
-        if self.deadline_s is None:
-            return 0.0
-        misses = sum(
-            1
-            for lat in self.frame_latencies_s
-            if lat > self.deadline_s + 1e-12
+        return metrics.deadline_miss_rate(
+            self.frame_latencies_s, self.deadline_s
         )
-        return misses / len(self.arrivals)
 
     @property
     def sustained_fps(self) -> float:
@@ -84,6 +83,26 @@ class StreamStats:
         return (len(self.completions) - 1) / span
 
 
+def _arrival_process(
+    arrivals: str | ArrivalProcess | None,
+    *,
+    fps: float,
+    jitter_frac: float,
+    seed: int,
+) -> ArrivalProcess:
+    """Resolve the ``arrivals`` argument to a concrete process."""
+    if arrivals is None or arrivals == "periodic":
+        return PeriodicArrivals(fps, jitter_frac=jitter_frac, seed=seed)
+    if arrivals == "poisson":
+        return PoissonArrivals(fps, seed=seed)
+    if isinstance(arrivals, str):
+        raise ValueError(
+            f"unknown arrival kind {arrivals!r}; expected 'periodic', "
+            "'poisson', or an ArrivalProcess"
+        )
+    return arrivals
+
+
 def run_stream(
     result: ScheduleResult,
     platform: Platform,
@@ -94,12 +113,18 @@ def run_stream(
     jitter_frac: float = 0.0,
     seed: int = 0,
     contention: bool = True,
+    arrivals: str | ArrivalProcess | None = None,
 ) -> StreamStats:
     """Stream ``frames`` inputs at ``fps`` through a schedule.
 
     Each frame is one workload round (every stream processes it).
-    ``jitter_frac`` perturbs arrival times by a deterministic uniform
-    fraction of the period, modeling sensor jitter.
+    ``arrivals`` selects the arrival process: the default is the
+    periodic camera model (``jitter_frac`` perturbs arrival times by a
+    deterministic uniform fraction of the period, modeling sensor
+    jitter); ``"poisson"`` draws memoryless arrivals at mean rate
+    ``fps``; any :class:`~repro.serve.requests.ArrivalProcess` is used
+    as-is (``fps``/``jitter_frac``/``seed`` are then ignored for
+    arrival generation).
     """
     if fps <= 0:
         raise ValueError("fps must be positive")
@@ -107,20 +132,16 @@ def run_stream(
         raise ValueError("frames must be >= 1")
     if not 0 <= jitter_frac < 1:
         raise ValueError("jitter_frac must be in [0, 1)")
-    period = 1.0 / fps
-    rng = np.random.default_rng(seed)
-    arrivals = [
-        k * period
-        + (rng.uniform(-jitter_frac, jitter_frac) * period if jitter_frac else 0.0)
-        for k in range(frames)
-    ]
-    arrivals = [max(a, 0.0) for a in arrivals]
+    process = _arrival_process(
+        arrivals, fps=fps, jitter_frac=jitter_frac, seed=seed
+    )
+    arrival_times = process.times(frames)
 
     formulation = result.formulation
     pipeline = getattr(formulation, "pipeline", ())
     all_tasks: list[SimTask] = []
     frame_last_ids: list[list[str]] = []
-    for k, arrival in enumerate(arrivals):
+    for k, arrival in enumerate(arrival_times):
         tasks = build_tasks(
             result.schedule,
             formulation.profiles,
@@ -156,7 +177,7 @@ def run_stream(
     ]
     return StreamStats(
         timeline=timeline,
-        arrivals=tuple(arrivals),
+        arrivals=tuple(arrival_times),
         completions=tuple(completions),
         deadline_s=deadline_s,
     )

@@ -1,0 +1,320 @@
+"""Admission-control and schedule-selection policies for serving.
+
+A :class:`ServingPolicy` answers two online questions the server asks:
+
+1. *admit or shed* -- may this request join its tenant's queue?
+2. *which schedule now* -- given the currently-active tenant mix and
+   how long that mix has been running, which schedule should the next
+   round dispatch?
+
+:class:`CachedAnytimePolicy` is the D-HaX-CoNN-driven answer: known
+mixes toggle instantly out of the static
+:class:`~repro.core.schedule_cache.ScheduleCache` (paper Section 3.5's
+offline path); novel mixes start on the best naive schedule
+immediately and swap to better solver incumbents at the paper's update
+points, with the converged schedule inserted into the cache so the mix
+is never solved again.
+
+Fidelity rule: policies compare candidates by *predicted* objective
+only (decoupled profiles + contention model) -- they never peek at the
+simulator.  Measured numbers come from the server executing rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.baselines import gpu_only, naive_concurrent
+from repro.core.dynamic import DEFAULT_UPDATE_POINTS
+from repro.core.haxconn import HaXCoNN, ScheduleResult
+from repro.core.schedule_cache import ScheduleCache, workload_signature
+from repro.core.workload import Workload
+from repro.profiling.database import ProfileDB
+from repro.soc.platform import Platform, get_platform
+
+
+class ServingPolicy:
+    """Base policy: admit everything, delegate scheduling to a hook."""
+
+    name = "policy"
+
+    def __init__(self, *, max_queue_depth: int | None = None) -> None:
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1")
+        self.max_queue_depth = max_queue_depth
+        self.rejected = 0
+
+    # -- admission -----------------------------------------------------
+    def admit(self, tenant: str, queue_depth: int, now_s: float) -> bool:
+        """Load shedding: bound each tenant's backlog."""
+        if (
+            self.max_queue_depth is not None
+            and queue_depth >= self.max_queue_depth
+        ):
+            self.rejected += 1
+            return False
+        return True
+
+    # -- scheduling ----------------------------------------------------
+    def result_for(
+        self, workload: Workload, elapsed_s: float
+    ) -> ScheduleResult:
+        """Schedule for the active mix, ``elapsed_s`` into its phase."""
+        raise NotImplementedError
+
+    def stats(self) -> dict[str, object]:
+        return {"policy": self.name, "rejected": self.rejected}
+
+
+class StaticPolicy(ServingPolicy):
+    """One fixed scheduler, solved once per distinct mix (baselines)."""
+
+    def __init__(
+        self,
+        name: str,
+        solve: Callable[[Workload], ScheduleResult],
+        *,
+        max_queue_depth: int | None = None,
+    ) -> None:
+        super().__init__(max_queue_depth=max_queue_depth)
+        self.name = name
+        self._solve = solve
+        self._results: dict[str, ScheduleResult] = {}
+        self.solves = 0
+
+    @staticmethod
+    def _key(workload: Workload) -> str:
+        return "|".join((workload.objective, *workload.names))
+
+    def result_for(
+        self, workload: Workload, elapsed_s: float
+    ) -> ScheduleResult:
+        key = self._key(workload)
+        if key not in self._results:
+            self.solves += 1
+            self._results[key] = self._solve(workload)
+        return self._results[key]
+
+    def stats(self) -> dict[str, object]:
+        return {**super().stats(), "solves": self.solves}
+
+
+def gpu_only_policy(
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+    max_queue_depth: int | None = None,
+) -> StaticPolicy:
+    """Serialized GPU-only serving (the paper's strongest naive base)."""
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    return StaticPolicy(
+        "gpu-only",
+        lambda w: gpu_only(w, plat, db=db, max_groups=max_groups),
+        max_queue_depth=max_queue_depth,
+    )
+
+
+def naive_policy(
+    platform: Platform | str,
+    *,
+    db: ProfileDB | None = None,
+    max_groups: int | None = 12,
+    max_queue_depth: int | None = None,
+) -> StaticPolicy:
+    """Contention-oblivious fixed GPU & DSA mapping."""
+    plat = get_platform(platform) if isinstance(platform, str) else platform
+    return StaticPolicy(
+        "naive",
+        lambda w: naive_concurrent(w, plat, db=db, max_groups=max_groups),
+        max_queue_depth=max_queue_depth,
+    )
+
+
+@dataclass
+class _AnytimePhase:
+    """Swap plan for one novel mix: (available-at, result) candidates.
+
+    Candidate availability is in *phase time* (seconds the mix has been
+    actively served), mirroring D-HaX-CoNN's solver-co-runs-with-
+    inference model: the solver makes progress only while the mix is
+    on the SoC.
+    """
+
+    candidates: list[tuple[float, ScheduleResult]]
+    #: phase time at which the certified-final schedule is active
+    final_available_s: float
+    active_idx: int = 0
+
+    def active(self, elapsed_s: float) -> tuple[ScheduleResult, bool, int]:
+        """(result, converged, swaps-performed-now) at ``elapsed_s``."""
+        idx = self.active_idx
+        while (
+            idx + 1 < len(self.candidates)
+            and self.candidates[idx + 1][0] <= elapsed_s
+        ):
+            idx += 1
+        swaps = idx - self.active_idx
+        self.active_idx = idx
+        converged = (
+            idx == len(self.candidates) - 1
+            and elapsed_s >= self.final_available_s
+        )
+        return self.candidates[idx][1], converged, swaps
+
+
+class CachedAnytimePolicy(ServingPolicy):
+    """Schedule-cache lookups plus D-HaX-CoNN anytime solving.
+
+    * mix in cache -> toggle instantly, zero solver work;
+    * novel mix -> best naive schedule for the first round, better
+      incumbents adopted at ``update_points`` of phase time, converged
+      schedule inserted into the cache.
+    """
+
+    name = "haxconn-serve"
+
+    def __init__(
+        self,
+        scheduler: HaXCoNN,
+        *,
+        cache: ScheduleCache | None = None,
+        update_points: Sequence[float] = DEFAULT_UPDATE_POINTS,
+        max_queue_depth: int | None = None,
+    ) -> None:
+        super().__init__(max_queue_depth=max_queue_depth)
+        if cache is not None and cache.scheduler is not scheduler:
+            raise ValueError("cache must wrap the same scheduler")
+        if any(t <= 0 for t in update_points):
+            raise ValueError("update points must be positive")
+        self.scheduler = scheduler
+        self.cache = cache if cache is not None else ScheduleCache(scheduler)
+        self.update_points = tuple(sorted(update_points))
+        self._phases: dict[str, _AnytimePhase] = {}
+        self.solves = 0
+        self.swaps = 0
+
+    # ------------------------------------------------------------------
+    def _best_naive(
+        self, workload: Workload, formulation
+    ) -> ScheduleResult:
+        """Best naive start, compared under the *contention-aware*
+        formulation so its objective is commensurable with solver
+        incumbents (the baselines' own predictions are contention-free
+        and would not be).  The scheduler's ``fallback_margin`` guards
+        the choice: concurrency must be predicted to win by more than
+        the model's error band, or the phase starts serialized --
+        the same never-worse-than-naive guarantee the offline
+        scheduler gives."""
+        serial, concurrent = (
+            self.scheduler.result_from_assignments(
+                workload,
+                formulation,
+                [s.assignment for s in base.schedule],
+                scheduler_name=label,
+                serialized=base.schedule.serialized,
+            )
+            for base, label in (
+                (
+                    gpu_only(
+                        workload,
+                        self.scheduler.platform,
+                        db=self.scheduler.db,
+                        max_groups=self.scheduler.max_groups,
+                    ),
+                    "gpu-only-start",
+                ),
+                (
+                    naive_concurrent(
+                        workload,
+                        self.scheduler.platform,
+                        db=self.scheduler.db,
+                        max_groups=self.scheduler.max_groups,
+                    ),
+                    "naive-start",
+                ),
+            )
+        )
+        threshold = serial.predicted.objective - (
+            self.scheduler.fallback_margin
+            * abs(serial.predicted.objective)
+        )
+        if concurrent.predicted.objective <= threshold:
+            return concurrent
+        return serial
+
+    def _solve_anytime(self, workload: Workload) -> _AnytimePhase:
+        """Build the swap plan for a novel mix (one solver run)."""
+        formulation, _ = self.scheduler.build_formulation(workload)
+        naive = self._best_naive(workload, formulation)
+        solve = self.scheduler.schedule(workload)
+
+        candidates: list[tuple[float, ScheduleResult]] = [(0.0, naive)]
+        best_objective = naive.predicted.objective
+        incumbents = solve.solver.incumbents if solve.solver else []
+        adopted: set[int] = set()
+        for point in self.update_points:
+            available = [
+                i for i in incumbents if i.wall_time_s <= point
+            ]
+            if not available:
+                continue
+            best = min(available, key=lambda i: i.objective)
+            if id(best) in adopted or best.objective >= best_objective:
+                continue
+            adopted.add(id(best))
+            result = self.scheduler.result_from_assignments(
+                workload,
+                formulation,
+                [
+                    best.assignment[f"dnn{n}"]
+                    for n in range(len(workload))
+                ],
+                scheduler_name="haxconn-incumbent",
+            )
+            candidates.append((point, result))
+            best_objective = best.objective
+
+        # the solver's certified answer (possibly the serialized GPU
+        # fallback, which never appears in the incumbent stream)
+        solver_done_s = solve.solver.wall_time_s if solve.solver else 0.0
+        adopt_at = next(
+            (p for p in self.update_points if p >= solver_done_s),
+            solver_done_s,
+        )
+        adopt_at = max(adopt_at, candidates[-1][0])
+        if solve.predicted.objective < best_objective:
+            candidates.append((adopt_at, solve))
+        return _AnytimePhase(
+            candidates=candidates, final_available_s=adopt_at
+        )
+
+    # ------------------------------------------------------------------
+    def result_for(
+        self, workload: Workload, elapsed_s: float
+    ) -> ScheduleResult:
+        if workload in self.cache:
+            return self.cache.get(workload)
+        key = workload_signature(workload, self.scheduler)
+        phase = self._phases.get(key)
+        if phase is None:
+            self.solves += 1
+            phase = self._solve_anytime(workload)
+            self._phases[key] = phase
+        result, converged, swaps = phase.active(elapsed_s)
+        self.swaps += swaps
+        if converged:
+            # future occurrences of this mix are pure cache toggles
+            self.cache.put(workload, result.schedule)
+            del self._phases[key]
+        return result
+
+    def stats(self) -> dict[str, object]:
+        return {
+            **super().stats(),
+            "solves": self.solves,
+            "swaps": self.swaps,
+            "cache_hits": self.cache.hits,
+            "cache_misses": self.cache.misses,
+        }

@@ -1,0 +1,282 @@
+"""Tenants, requests, and arrival processes for the serving layer.
+
+A :class:`Tenant` is one logical client of the serving system: a model
+(or chain of models), a latency SLO, and an arrival process describing
+when its requests show up.  Arrival processes are deterministic given
+their seed and *prefix-stable*: ``times(5)`` is always the first five
+entries of ``times(10)``, so a server and an offline analysis drawing
+different horizons from the same process agree on every shared
+arrival.  :func:`repro.runtime.stream.run_stream` reuses these
+generators for its frame arrivals, so the single-schedule streaming
+driver and the multi-tenant server model arrivals identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.workload import WorkloadDNN
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of one tenant."""
+
+    tenant: str
+    #: per-tenant sequence number (0-based, in arrival order)
+    seq: int
+    arrival_s: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError(f"{self.tenant}#{self.seq}: negative arrival")
+
+
+class ArrivalProcess:
+    """Deterministic generator of request arrival instants."""
+
+    def times(self, n: int, *, start: float = 0.0) -> tuple[float, ...]:
+        """The first ``n`` arrival instants (sorted, >= ``start``)."""
+        raise NotImplementedError
+
+    def times_within(
+        self,
+        horizon_s: float,
+        *,
+        start: float = 0.0,
+        max_requests: int = 10_000,
+    ) -> tuple[float, ...]:
+        """All arrivals in ``[start, start + horizon_s)``.
+
+        Grows the drawn prefix geometrically until it crosses the
+        horizon; prefix stability makes the result independent of the
+        growth schedule.
+        """
+        if horizon_s < 0:
+            raise ValueError("horizon_s must be >= 0")
+        n = 16
+        while True:
+            drawn = self.times(min(n, max_requests), start=start)
+            end = start + horizon_s
+            if (drawn and drawn[-1] >= end) or len(drawn) < n or n >= max_requests:
+                return tuple(t for t in drawn if t < end)
+            n *= 2
+
+
+@dataclass(frozen=True)
+class PeriodicArrivals(ArrivalProcess):
+    """Fixed-rate arrivals with optional deterministic uniform jitter.
+
+    Reproduces exactly the arrival model :func:`run_stream` always had:
+    arrival *k* is ``k/rate`` perturbed by ``uniform(-j, j)`` periods,
+    clamped at zero.
+    """
+
+    rate_hz: float
+    jitter_frac: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if not 0 <= self.jitter_frac < 1:
+            raise ValueError("jitter_frac must be in [0, 1)")
+
+    def times(self, n: int, *, start: float = 0.0) -> tuple[float, ...]:
+        period = 1.0 / self.rate_hz
+        rng = np.random.default_rng(self.seed)
+        out = []
+        for k in range(n):
+            jitter = (
+                rng.uniform(-self.jitter_frac, self.jitter_frac) * period
+                if self.jitter_frac
+                else 0.0
+            )
+            out.append(max(start + k * period + jitter, start))
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Memoryless arrivals at a mean rate (the classic M/G/1 input)."""
+
+    rate_hz: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+
+    def times(self, n: int, *, start: float = 0.0) -> tuple[float, ...]:
+        rng = np.random.default_rng(self.seed)
+        t = start
+        out = []
+        for _ in range(n):
+            t += rng.exponential(1.0 / self.rate_hz)
+            out.append(t)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class BurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process (MMPP-2).
+
+    The process alternates between a calm state (``rate_hz``) and a
+    burst state (``burst_rate_hz``), dwelling an exponential time with
+    the given means in each -- the standard model for flash-crowd
+    serving traffic.
+    """
+
+    rate_hz: float
+    burst_rate_hz: float
+    dwell_s: float = 0.5
+    burst_dwell_s: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0 or self.burst_rate_hz <= 0:
+            raise ValueError("rates must be positive")
+        if self.dwell_s <= 0 or self.burst_dwell_s <= 0:
+            raise ValueError("dwell times must be positive")
+
+    def times(self, n: int, *, start: float = 0.0) -> tuple[float, ...]:
+        rng = np.random.default_rng(self.seed)
+        rates = (self.rate_hz, self.burst_rate_hz)
+        dwells = (self.dwell_s, self.burst_dwell_s)
+        t = start
+        state = 0
+        out: list[float] = []
+        while len(out) < n:
+            to_arrival = rng.exponential(1.0 / rates[state])
+            to_switch = rng.exponential(dwells[state])
+            if to_arrival <= to_switch:
+                t += to_arrival
+                out.append(t)
+                # memorylessness: the unused switch draw is discarded
+            else:
+                t += to_switch
+                state = 1 - state
+        return tuple(out)
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replay of an explicit arrival-time trace (seconds)."""
+
+    arrivals: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(t < 0 for t in self.arrivals):
+            raise ValueError("trace arrivals must be non-negative")
+        if any(
+            b < a for a, b in zip(self.arrivals, self.arrivals[1:])
+        ):
+            raise ValueError("trace arrivals must be sorted")
+
+    def times(self, n: int, *, start: float = 0.0) -> tuple[float, ...]:
+        shifted = tuple(t + start for t in self.arrivals)
+        if n > len(shifted):
+            raise ValueError(
+                f"trace has {len(shifted)} arrivals, {n} requested"
+            )
+        return shifted[:n]
+
+    def times_within(
+        self,
+        horizon_s: float,
+        *,
+        start: float = 0.0,
+        max_requests: int = 10_000,
+    ) -> tuple[float, ...]:
+        end = start + horizon_s
+        return tuple(
+            t + start for t in self.arrivals if t + start < end
+        )[:max_requests]
+
+
+def make_arrivals(
+    kind: str, rate_hz: float, *, seed: int = 0
+) -> ArrivalProcess:
+    """Arrival process by name (the CLI / run_stream string forms)."""
+    if kind == "periodic":
+        return PeriodicArrivals(rate_hz, seed=seed)
+    if kind == "poisson":
+        return PoissonArrivals(rate_hz, seed=seed)
+    if kind == "bursty":
+        return BurstyArrivals(
+            rate_hz, burst_rate_hz=4.0 * rate_hz, seed=seed
+        )
+    raise KeyError(
+        f"unknown arrival kind {kind!r}; "
+        "expected periodic, poisson, or bursty"
+    )
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One serving client: model(s), SLO, and an arrival process."""
+
+    name: str
+    models: tuple[str, ...]
+    arrivals: ArrivalProcess = field(default_factory=lambda: PoissonArrivals(30.0))
+    #: per-request latency SLO in seconds (None = best effort)
+    slo_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant needs a name")
+        if not self.models:
+            raise ValueError(f"tenant {self.name}: needs at least one model")
+        if self.slo_s is not None and self.slo_s <= 0:
+            raise ValueError(f"tenant {self.name}: slo_s must be positive")
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        *models: str,
+        arrivals: ArrivalProcess | None = None,
+        slo_s: float | None = None,
+    ) -> "Tenant":
+        return cls(
+            name=name,
+            models=tuple(models),
+            arrivals=arrivals if arrivals is not None else PoissonArrivals(30.0),
+            slo_s=slo_s,
+        )
+
+    def stream(self) -> WorkloadDNN:
+        """The workload stream this tenant contributes to a mix."""
+        return WorkloadDNN.of(*self.models)
+
+
+def generate_requests(
+    tenants: list[Tenant] | tuple[Tenant, ...],
+    *,
+    horizon_s: float,
+    max_per_tenant: int = 10_000,
+) -> tuple[Request, ...]:
+    """Merge every tenant's arrivals into one sorted request stream.
+
+    Ties break by tenant order (stable), so the stream is fully
+    deterministic.
+    """
+    names = [t.name for t in tenants]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate tenant names: {names}")
+    streams = []
+    for order, tenant in enumerate(tenants):
+        arrivals = tenant.arrivals.times_within(
+            horizon_s, max_requests=max_per_tenant
+        )
+        streams.append(
+            [
+                (t, order, Request(tenant=tenant.name, seq=k, arrival_s=t))
+                for k, t in enumerate(arrivals)
+            ]
+        )
+    merged = list(heapq.merge(*streams, key=lambda e: (e[0], e[1])))
+    return tuple(r for _, _, r in merged)

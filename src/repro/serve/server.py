@@ -1,0 +1,233 @@
+"""The event-driven multi-tenant serving loop on simulator time.
+
+The :class:`Server` closes the loop the paper's D-HaX-CoNN leaves
+open: requests arrive continuously from many tenants, and the system
+must decide *online* what to co-schedule.  The loop alternates between
+two virtual-time events:
+
+1. **admission** -- every request whose arrival instant has passed is
+   admitted into its tenant's FIFO queue (or shed, per the policy's
+   admission control);
+2. **dispatch** -- the tenants with backlogged requests form the
+   *active mix*; the policy picks a schedule for that mix (cache
+   toggle, naive start, or anytime incumbent), the server takes up to
+   ``max_batch`` requests per tenant as that stream's repeats, and the
+   round executes on the discrete-event simulator.  Virtual time then
+   advances by the measured round makespan -- back-pressure is real:
+   requests arriving mid-round queue behind it.
+
+Per-mix *phase time* (cumulative seconds the SoC spent serving a mix)
+drives the anytime policy's incumbent swaps, mirroring the paper's
+solver-co-runs-with-inference model: solver progress accrues only
+while its mix is actually executing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.core.workload import Workload
+from repro.runtime.executor import run_schedule
+from repro.serve.policy import ServingPolicy
+from repro.serve.requests import Request, Tenant, generate_requests
+from repro.serve.slo import FleetReport, ServedRequest
+from repro.soc.platform import Platform, get_platform
+from repro.soc.timeline import Timeline
+
+#: slack when comparing virtual-time instants
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One dispatched round: which mix ran, when, on what schedule."""
+
+    index: int
+    start_s: float
+    end_s: float
+    #: tenant names in stream order (stream n served tenants[n])
+    tenants: tuple[str, ...]
+    #: requests served per tenant stream this round
+    batch: tuple[int, ...]
+    #: ``schedule.meta["scheduler"]`` of the dispatched schedule
+    scheduler: str
+    timeline: Timeline
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class Server:
+    """Multi-tenant serving on one simulated SoC."""
+
+    def __init__(
+        self,
+        platform: Platform | str,
+        tenants: Sequence[Tenant],
+        policy: ServingPolicy,
+        *,
+        max_batch: int = 1,
+        objective: str = "latency",
+        contention: bool = True,
+    ) -> None:
+        if not tenants:
+            raise ValueError("server needs at least one tenant")
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.platform = (
+            get_platform(platform) if isinstance(platform, str) else platform
+        )
+        self.tenants = tuple(tenants)
+        self.policy = policy
+        self.max_batch = max_batch
+        self.objective = objective
+        self.contention = contention
+
+    # ------------------------------------------------------------------
+    def _mix_workload(self, active: Sequence[Tenant]) -> Workload:
+        """The active mix as a workload (tenant order = stream order;
+        identical models get distinct instance indices)."""
+        return Workload.concurrent(
+            *[t.stream() for t in active], objective=self.objective
+        )
+
+    def run(
+        self,
+        *,
+        horizon_s: float,
+        max_requests: int = 10_000,
+        max_rounds: int | None = None,
+    ) -> FleetReport:
+        """Serve every request arriving within ``horizon_s``.
+
+        The loop drains queues past the horizon (no request is
+        abandoned), so the report always covers the full arrival set.
+        """
+        requests = generate_requests(
+            list(self.tenants),
+            horizon_s=horizon_s,
+            max_per_tenant=max_requests,
+        )[:max_requests]
+        queues: dict[str, deque[Request]] = {
+            t.name: deque() for t in self.tenants
+        }
+        slo = {t.name: t.slo_s for t in self.tenants}
+        records: list[ServedRequest] = []
+        rounds: list[RoundRecord] = []
+        mix_elapsed: dict[tuple[str, ...], float] = {}
+        now = 0.0
+        next_arrival = 0
+
+        while True:
+            # 1. admission: everything that has arrived by `now`
+            while (
+                next_arrival < len(requests)
+                and requests[next_arrival].arrival_s <= now + _EPS
+            ):
+                req = requests[next_arrival]
+                next_arrival += 1
+                if self.policy.admit(
+                    req.tenant, len(queues[req.tenant]), now
+                ):
+                    queues[req.tenant].append(req)
+                else:
+                    records.append(
+                        ServedRequest(
+                            tenant=req.tenant,
+                            seq=req.seq,
+                            arrival_s=req.arrival_s,
+                            slo_s=slo[req.tenant],
+                            rejected=True,
+                        )
+                    )
+
+            active = [t for t in self.tenants if queues[t.name]]
+            if not active:
+                if next_arrival >= len(requests):
+                    break  # drained: every request served or shed
+                now = requests[next_arrival].arrival_s
+                continue
+
+            # 2. dispatch one round for the active mix
+            workload = self._mix_workload(active)
+            mix_key = workload.names
+            elapsed = mix_elapsed.get(mix_key, 0.0)
+            result = self.policy.result_for(workload, elapsed)
+            batch = tuple(
+                min(len(queues[t.name]), self.max_batch) for t in active
+            )
+            execution = run_schedule(
+                result,
+                self.platform,
+                repeats=batch,
+                contention=self.contention,
+            )
+            timeline = execution.timeline
+            for n, tenant in enumerate(active):
+                for rep in range(batch[n]):
+                    req = queues[tenant.name].popleft()
+                    finish = now + timeline.completion(dnn=n, rep=rep)
+                    records.append(
+                        ServedRequest(
+                            tenant=req.tenant,
+                            seq=req.seq,
+                            arrival_s=req.arrival_s,
+                            slo_s=slo[req.tenant],
+                            start_s=now,
+                            finish_s=finish,
+                            round_index=len(rounds),
+                        )
+                    )
+            duration = execution.makespan_s
+            rounds.append(
+                RoundRecord(
+                    index=len(rounds),
+                    start_s=now,
+                    end_s=now + duration,
+                    tenants=tuple(t.name for t in active),
+                    batch=batch,
+                    scheduler=str(
+                        result.schedule.meta.get("scheduler", "?")
+                    ),
+                    timeline=timeline,
+                )
+            )
+            mix_elapsed[mix_key] = elapsed + duration
+            now += duration
+            if max_rounds is not None and len(rounds) >= max_rounds:
+                break
+
+        records.sort(key=lambda r: (r.arrival_s, r.tenant, r.seq))
+        return FleetReport(
+            records,
+            rounds,
+            tenant_slos=slo,
+            policy_stats=self.policy.stats(),
+        )
+
+
+def serve(
+    platform: Platform | str,
+    tenants: Sequence[Tenant],
+    policy: ServingPolicy,
+    *,
+    horizon_s: float,
+    max_batch: int = 1,
+    contention: bool = True,
+    max_requests: int = 10_000,
+) -> FleetReport:
+    """One-call convenience wrapper around :class:`Server`."""
+    server = Server(
+        platform,
+        tenants,
+        policy,
+        max_batch=max_batch,
+        contention=contention,
+    )
+    return server.run(horizon_s=horizon_s, max_requests=max_requests)

@@ -78,6 +78,55 @@ class TestCache:
         assert len(cache) == 2
         assert all(w in cache for w in workloads)
 
+    def test_signature_matches_free_function(self, scheduler, workload):
+        cache = ScheduleCache(scheduler)
+        assert cache.signature(workload) == workload_signature(
+            workload, scheduler
+        )
+
+    def test_put_installs_external_schedule(self, scheduler, workload):
+        """An externally-obtained schedule (e.g. a converged anytime
+        incumbent) becomes a cache hit without any solver run."""
+        cache = ScheduleCache(scheduler)
+        donor = ScheduleCache(scheduler)
+        solved = donor.get(workload)
+        cache.put(workload, solved.schedule)
+        assert workload in cache
+        assert cache.misses == 0
+        result = cache.get(workload)
+        assert cache.hits == 1 and cache.misses == 0
+        assert [s.assignment for s in result.schedule] == [
+            s.assignment for s in solved.schedule
+        ]
+
+    def test_put_then_serve_policy_never_solves(self, scheduler, workload):
+        """The serving policy's novel-mix path is skipped entirely for
+        mixes whose schedule was installed up front."""
+        from repro.serve.policy import CachedAnytimePolicy
+
+        cache = ScheduleCache(scheduler)
+        donor = ScheduleCache(scheduler)
+        cache.put(workload, donor.get(workload).schedule)
+        policy = CachedAnytimePolicy(scheduler, cache=cache)
+        policy.result_for(workload, 0.0)
+        policy.result_for(workload, 10.0)
+        assert policy.solves == 0
+        assert cache.hits == 2
+
+    def test_novel_mix_misses_then_policy_fills(self, scheduler):
+        """A mix the cache has never seen is a miss for the cache's own
+        ``get`` but the anytime policy converges and fills it."""
+        from repro.serve.policy import CachedAnytimePolicy
+
+        cache = ScheduleCache(scheduler)
+        novel = Workload.concurrent("googlenet", "resnet50")
+        assert novel not in cache
+        policy = CachedAnytimePolicy(scheduler, cache=cache)
+        policy.result_for(novel, 0.0)
+        policy.result_for(novel, 1e6)  # past every update point
+        assert policy.solves == 1
+        assert novel in cache
+
     def test_roundtrip(self, scheduler, workload, tmp_path, xavier):
         cache = ScheduleCache(scheduler)
         original = cache.get(workload)

@@ -1,11 +1,17 @@
-"""Latency/FPS helpers."""
+"""Latency/FPS helpers and shared sample-aggregation functions."""
 
 import pytest
 
 from repro.runtime.metrics import (
+    deadline_miss_rate,
     fps_from_latency,
+    goodput_rps,
     improvement_percent,
+    mean_ms,
+    percentile,
+    percentile_ms,
     speedup,
+    utilization,
 )
 
 
@@ -39,3 +45,75 @@ class TestSpeedup:
     def test_invalid(self):
         with pytest.raises(ValueError):
             speedup(1.0, 0.0)
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == pytest.approx(2.0)
+
+    def test_extremes(self):
+        sample = [5.0, 1.0, 3.0]
+        assert percentile(sample, 0) == pytest.approx(1.0)
+        assert percentile(sample, 100) == pytest.approx(5.0)
+
+    def test_ms_conversion(self):
+        assert percentile_ms([0.010, 0.020], 100) == pytest.approx(20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean_ms([0.010, 0.030]) == pytest.approx(20.0)
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            mean_ms([])
+
+
+class TestDeadlineMissRate:
+    def test_counts_misses(self):
+        assert deadline_miss_rate(
+            [0.01, 0.02, 0.03, 0.04], 0.025
+        ) == pytest.approx(0.5)
+
+    def test_no_deadline_means_no_misses(self):
+        assert deadline_miss_rate([10.0, 20.0], None) == 0.0
+
+    def test_empty_sample(self):
+        assert deadline_miss_rate([], 0.01) == 0.0
+
+    def test_boundary_is_a_hit(self):
+        assert deadline_miss_rate([0.025], 0.025) == 0.0
+
+
+class TestGoodput:
+    def test_basic(self):
+        assert goodput_rps(10, 2.0) == pytest.approx(5.0)
+
+    def test_zero_span(self):
+        assert goodput_rps(0, 0.0) == 0.0
+        assert goodput_rps(3, 0.0) == float("inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            goodput_rps(-1, 1.0)
+
+
+class TestUtilization:
+    def test_basic(self):
+        assert utilization(0.5, 2.0) == pytest.approx(0.25)
+
+    def test_clamped(self):
+        assert utilization(3.0, 2.0) == 1.0
+
+    def test_zero_span(self):
+        assert utilization(0.0, 0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            utilization(-0.1, 1.0)

@@ -56,6 +56,40 @@ class TestArrivals:
             run_stream(result, xavier, fps=30, frames=0)
         with pytest.raises(ValueError):
             run_stream(result, xavier, fps=30, jitter_frac=1.5)
+        with pytest.raises(ValueError):
+            run_stream(result, xavier, fps=30, arrivals="uniform")
+
+    def test_default_matches_explicit_periodic(self, result, xavier):
+        """Backward compatibility: the default arrival model is exactly
+        the shared PeriodicArrivals generator."""
+        from repro.serve.requests import PeriodicArrivals
+
+        legacy = run_stream(
+            result, xavier, fps=100, frames=6, jitter_frac=0.2, seed=3
+        )
+        explicit = run_stream(
+            result,
+            xavier,
+            fps=100,
+            frames=6,
+            arrivals=PeriodicArrivals(100.0, jitter_frac=0.2, seed=3),
+        )
+        assert legacy.arrivals == explicit.arrivals
+        assert legacy.completions == explicit.completions
+
+    def test_poisson_arrivals(self, result, xavier):
+        """Poisson arrivals come from the shared generator, seeded."""
+        from repro.serve.requests import PoissonArrivals
+
+        stats = run_stream(
+            result, xavier, fps=100, frames=6, arrivals="poisson", seed=5
+        )
+        assert stats.arrivals == PoissonArrivals(100.0, seed=5).times(6)
+        gaps = {
+            round(b - a, 9)
+            for a, b in zip(stats.arrivals, stats.arrivals[1:])
+        }
+        assert len(gaps) > 1  # memoryless, not periodic
 
 
 class TestLatency:

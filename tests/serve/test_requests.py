@@ -1,0 +1,173 @@
+"""Tenants, requests, and arrival processes."""
+
+import pytest
+
+from repro.serve.requests import (
+    BurstyArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    Request,
+    Tenant,
+    TraceArrivals,
+    generate_requests,
+    make_arrivals,
+)
+
+PROCESSES = [
+    PeriodicArrivals(100.0, jitter_frac=0.2, seed=3),
+    PoissonArrivals(100.0, seed=3),
+    BurstyArrivals(50.0, 400.0, seed=3),
+]
+
+
+class TestArrivalProcesses:
+    @pytest.mark.parametrize("proc", PROCESSES, ids=lambda p: type(p).__name__)
+    def test_deterministic(self, proc):
+        assert proc.times(20) == proc.times(20)
+
+    @pytest.mark.parametrize("proc", PROCESSES, ids=lambda p: type(p).__name__)
+    def test_prefix_stable(self, proc):
+        assert proc.times(5) == proc.times(10)[:5]
+
+    @pytest.mark.parametrize("proc", PROCESSES, ids=lambda p: type(p).__name__)
+    def test_sorted_and_offset_by_start(self, proc):
+        ts = proc.times(20, start=1.0)
+        assert all(b >= a for a, b in zip(ts, ts[1:]))
+        assert ts[0] >= 1.0
+
+    @pytest.mark.parametrize("proc", PROCESSES, ids=lambda p: type(p).__name__)
+    def test_times_within_matches_times(self, proc):
+        """times_within == the times() prefix below the horizon,
+        independent of its internal growth schedule."""
+        drawn = proc.times(256)
+        horizon = drawn[40]
+        expected = tuple(t for t in drawn if t < horizon)
+        assert proc.times_within(horizon) == expected
+
+    def test_periodic_matches_legacy_run_stream_model(self):
+        """arrival k = k/rate + uniform(-j, j)/rate, clamped at 0."""
+        import numpy as np
+
+        proc = PeriodicArrivals(50.0, jitter_frac=0.3, seed=9)
+        rng = np.random.default_rng(9)
+        period = 1 / 50.0
+        expected = tuple(
+            max(k * period + rng.uniform(-0.3, 0.3) * period, 0.0)
+            for k in range(8)
+        )
+        assert proc.times(8) == pytest.approx(expected)
+
+    def test_periodic_without_jitter_is_exact(self):
+        assert PeriodicArrivals(100.0).times(4) == pytest.approx(
+            (0.0, 0.01, 0.02, 0.03)
+        )
+
+    def test_poisson_mean_rate(self):
+        ts = PoissonArrivals(200.0, seed=0).times(4000)
+        rate = len(ts) / ts[-1]
+        assert rate == pytest.approx(200.0, rel=0.1)
+
+    def test_bursty_has_two_regimes(self):
+        """An MMPP-2 sample is burstier than Poisson: its interarrival
+        coefficient of variation exceeds the memoryless CV of 1."""
+        import numpy as np
+
+        ts = np.array(
+            BurstyArrivals(20.0, 2000.0, dwell_s=0.5, burst_dwell_s=0.1,
+                           seed=4).times(4000)
+        )
+        gaps = np.diff(ts)
+        cv = gaps.std() / gaps.mean()
+        assert cv > 1.3
+
+    def test_trace_replay(self):
+        proc = TraceArrivals((0.0, 0.1, 0.4))
+        assert proc.times(2) == (0.0, 0.1)
+        assert proc.times_within(0.4) == (0.0, 0.1)
+        with pytest.raises(ValueError):
+            proc.times(4)
+
+    def test_trace_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals((0.2, 0.1))
+        with pytest.raises(ValueError):
+            TraceArrivals((-0.1, 0.2))
+
+    def test_make_arrivals(self):
+        assert isinstance(make_arrivals("periodic", 10), PeriodicArrivals)
+        assert isinstance(make_arrivals("poisson", 10), PoissonArrivals)
+        assert isinstance(make_arrivals("bursty", 10), BurstyArrivals)
+        with pytest.raises(KeyError):
+            make_arrivals("uniform", 10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(0.0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(10.0, jitter_frac=1.0)
+        with pytest.raises(ValueError):
+            PoissonArrivals(-1.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(10.0, 0.0)
+        with pytest.raises(ValueError):
+            BurstyArrivals(10.0, 40.0, dwell_s=0.0)
+
+
+class TestTenant:
+    def test_of(self):
+        t = Tenant.of("cam", "googlenet", slo_s=0.03)
+        assert t.models == ("googlenet",)
+        assert t.stream().models == ("googlenet",)
+
+    def test_pipeline_tenant(self):
+        t = Tenant.of("pipe", "resnet18", "googlenet")
+        assert t.stream().models == ("resnet18", "googlenet")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Tenant.of("", "googlenet")
+        with pytest.raises(ValueError):
+            Tenant.of("cam")
+        with pytest.raises(ValueError):
+            Tenant.of("cam", "googlenet", slo_s=0.0)
+
+
+class TestGenerateRequests:
+    def tenants(self):
+        return [
+            Tenant.of("a", "googlenet",
+                      arrivals=PeriodicArrivals(100.0)),
+            Tenant.of("b", "resnet18",
+                      arrivals=PeriodicArrivals(50.0)),
+        ]
+
+    def test_merged_and_sorted(self):
+        reqs = generate_requests(self.tenants(), horizon_s=0.1)
+        assert len(reqs) == 10 + 5
+        arrivals = [r.arrival_s for r in reqs]
+        assert arrivals == sorted(arrivals)
+
+    def test_per_tenant_sequence_numbers(self):
+        reqs = generate_requests(self.tenants(), horizon_s=0.1)
+        for name in ("a", "b"):
+            seqs = [r.seq for r in reqs if r.tenant == name]
+            assert seqs == list(range(len(seqs)))
+
+    def test_ties_break_by_tenant_order(self):
+        """Both tenants arrive at t=0; tenant order decides."""
+        reqs = generate_requests(self.tenants(), horizon_s=0.005)
+        assert [(r.tenant, r.arrival_s) for r in reqs] == [
+            ("a", 0.0),
+            ("b", 0.0),
+        ]
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            generate_requests(
+                [Tenant.of("a", "googlenet"), Tenant.of("a", "resnet18")],
+                horizon_s=0.1,
+            )
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Request(tenant="a", seq=0, arrival_s=-1.0)

@@ -40,6 +40,41 @@ class TestParser:
                 ["schedule", "vgg19", "--objective", "speed"]
             )
 
+    def test_serve_defaults(self):
+        args = cli.build_parser().parse_args(
+            ["serve", "googlenet:100:30", "resnet18"]
+        )
+        assert args.tenants == ["googlenet:100:30", "resnet18"]
+        assert args.policy == "haxconn"
+        assert args.arrivals == "poisson"
+        assert args.horizon == 0.5
+
+    def test_serve_invalid_policy(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(
+                ["serve", "googlenet", "--policy", "random"]
+            )
+
+
+class TestTenantSpec:
+    def test_model_only(self):
+        assert cli.parse_tenant_spec("googlenet", 0) == (
+            "googlenet",
+            30.0,
+            None,
+        )
+
+    def test_full_spec(self):
+        model, rate, slo = cli.parse_tenant_spec("vgg19:80:40", 1)
+        assert (model, rate) == ("vgg19", 80.0)
+        assert slo == pytest.approx(0.040)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            cli.parse_tenant_spec("a:1:2:3", 0)
+        with pytest.raises(ValueError):
+            cli.parse_tenant_spec("googlenet:0", 0)
+
 
 class TestCommands:
     def test_platforms(self, capsys):
@@ -77,7 +112,53 @@ class TestCommands:
             "sensitivity",
             "batching",
             "dsa-design",
+            "serving",
         }
+
+    def test_serve_command(self, capsys, tmp_path):
+        trace = tmp_path / "serve.json"
+        code = cli.main(
+            [
+                "serve",
+                "googlenet:80:30",
+                "resnet18:60:40",
+                "--platform",
+                "xavier",
+                "--horizon",
+                "0.1",
+                "--max-transitions",
+                "1",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "googlenet" in out and "resnet18" in out
+        assert "fleet:" in out and "policy:" in out
+        assert trace.exists()
+
+    def test_serve_duplicate_models_disambiguated(self, capsys):
+        code = cli.main(
+            [
+                "serve",
+                "googlenet:50",
+                "googlenet:50",
+                "--platform",
+                "xavier",
+                "--policy",
+                "gpu-only",
+                "--horizon",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "googlenet@1" in out
+
+    def test_serve_unknown_model(self, capsys):
+        assert cli.main(["serve", "notanet", "--horizon", "0.05"]) == 2
+        assert "error" in capsys.readouterr().err
 
     def test_schedule_command(self, capsys):
         code = cli.main(

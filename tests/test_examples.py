@@ -32,6 +32,7 @@ class TestExamples:
             "dynamic_drone.py",
             "profiling_tour.py",
             "streaming_qos.py",
+            "serve_demo.py",
         } <= names
 
     def test_profiling_tour(self, capsys):
@@ -39,6 +40,14 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "layer groups" in out
         assert "PCCS slowdown surface" in out
+
+    @pytest.mark.slow
+    def test_serve_demo(self, capsys):
+        run_example("serve_demo.py", ["xavier"])
+        out = capsys.readouterr().out
+        assert "cache + anytime serving" in out
+        assert "schedule activations" in out
+        assert "GPU-only serving" in out
 
     @pytest.mark.slow
     def test_quickstart(self, capsys):
