@@ -12,7 +12,8 @@ Subcommands
     Regenerate a paper table/figure (``fig1``, ``table2``, ``fig3``,
     ``fig4``, ``table5``, ``fig5``, ``table6``, ``fig6``, ``fig7``,
     ``table7``, ``table8``) or one of this reproduction's studies
-    (``sensitivity``, ``batching``, ``dsa-design``, ``serving``).
+    (``sensitivity``, ``batching``, ``dsa-design``, ``serving``,
+    ``solver-race``).
 ``haxconn platforms`` / ``haxconn models``
     List the modeled SoCs / the model zoo.
 """
@@ -39,6 +40,7 @@ EXPERIMENTS = {
     "batching": "batching",
     "dsa-design": "dsa_design",
     "serving": "serving",
+    "solver-race": "solver_race",
 }
 
 SERVE_POLICIES = ("haxconn", "gpu-only", "naive")
@@ -64,7 +66,12 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
 
     platform = get_platform(args.platform)
     workload = Workload.concurrent(*args.models, objective=args.objective)
-    scheduler = HaXCoNN(platform, max_transitions=args.max_transitions)
+    scheduler = HaXCoNN(
+        platform,
+        max_transitions=args.max_transitions,
+        solver=args.solver,
+        solver_workers=args.workers,
+    )
     result = scheduler.schedule(workload)
     print(result.schedule.describe())
     execution = run_schedule(result, platform)
@@ -115,7 +122,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.policy == "haxconn":
         scheduler = HaXCoNN(
-            platform, max_transitions=args.max_transitions
+            platform,
+            max_transitions=args.max_transitions,
+            solver=args.solver,
+            solver_workers=args.workers,
         )
         policy = CachedAnytimePolicy(
             scheduler, max_queue_depth=args.max_queue_depth
@@ -195,6 +205,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--max-transitions", type=int, default=2)
     p.add_argument(
+        "--solver",
+        choices=("bnb", "portfolio"),
+        default="bnb",
+        help="single-threaded branch and bound, or the parallel "
+        "anytime portfolio",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="portfolio worker count (default: CPU count, capped at 4)",
+    )
+    p.add_argument(
         "--gantt", action="store_true", help="render an ASCII timeline"
     )
     p.set_defaults(fn=_cmd_schedule)
@@ -226,6 +249,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-batch", type=int, default=2)
     p.add_argument("--max-queue-depth", type=int, default=None)
     p.add_argument("--max-transitions", type=int, default=2)
+    p.add_argument(
+        "--solver",
+        choices=("bnb", "portfolio"),
+        default="bnb",
+        help="anytime solver driving the haxconn policy",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="portfolio worker count (default: CPU count, capped at 4)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--trace", default=None, help="write a Chrome trace JSON here"

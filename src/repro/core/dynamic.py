@@ -93,6 +93,8 @@ class DHaXCoNN:
         *,
         update_points: Sequence[float] = DEFAULT_UPDATE_POINTS,
         solver_bw: float = 0.0,
+        solver: str | None = None,
+        solver_workers: int | None = None,
     ) -> None:
         if any(t <= 0 for t in update_points):
             raise ValueError("update points must be positive")
@@ -100,6 +102,17 @@ class DHaXCoNN:
         self.update_points = tuple(sorted(update_points))
         #: DRAM traffic of the co-running solver (Table 7 overhead)
         self.solver_bw = solver_bw
+        # convenience overrides: the anytime solver lives on the
+        # wrapped scheduler, so `solver=`/`solver_workers=` here
+        # reconfigure it in place
+        if solver is not None:
+            if solver not in ("bnb", "portfolio"):
+                raise ValueError(
+                    f"solver must be 'bnb' or 'portfolio', got {solver!r}"
+                )
+            scheduler.solver = solver
+        if solver_workers is not None:
+            scheduler.solver_workers = solver_workers
 
     @property
     def platform(self) -> Platform:

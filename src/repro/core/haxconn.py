@@ -26,7 +26,8 @@ from repro.core.workload import Workload
 from repro.profiling.database import ProfileDB
 from repro.profiling.profiler import DNNProfile, concat_profiles
 from repro.solver.bnb import BranchAndBound, Incumbent, SolveResult
-from repro.solver.problem import Infeasible, Problem, Variable
+from repro.solver.portfolio import PortfolioSolver
+from repro.solver.problem import Assignment, Infeasible, Problem, Variable
 from repro.soc.platform import Platform, get_platform
 
 
@@ -110,6 +111,16 @@ class HaXCoNN:
         use a single transition per DNN (Table 6's TR column).
     max_groups:
         Grouping coarseness (Table 2 uses ~10 for GoogleNet).
+    solver:
+        ``"bnb"`` (single-threaded branch and bound, the default),
+        ``"portfolio"`` (the parallel anytime portfolio of
+        :mod:`repro.solver.portfolio`, seeded with the best
+        contention-oblivious baselines and any caller warm starts), or
+        a callable ``solver(problem, initial=..., on_incumbent=...)``
+        returning a :class:`SolveResult` (for tests and experiments).
+    solver_workers / solver_seed / solver_backend / solver_clock:
+        Portfolio configuration, ignored for ``"bnb"``; see
+        :class:`~repro.solver.portfolio.PortfolioSolver`.
     """
 
     def __init__(
@@ -126,6 +137,11 @@ class HaXCoNN:
         fallback_margin: float = 0.02,
         time_budget_s: float | None = None,
         node_budget: int | None = None,
+        solver: str | Callable[..., SolveResult] = "bnb",
+        solver_workers: int | None = None,
+        solver_seed: int = 0,
+        solver_backend: str = "auto",
+        solver_clock: str = "wall",
     ) -> None:
         self.platform = (
             get_platform(platform) if isinstance(platform, str) else platform
@@ -142,6 +158,16 @@ class HaXCoNN:
         self.fallback_margin = fallback_margin
         self.time_budget_s = time_budget_s
         self.node_budget = node_budget
+        if isinstance(solver, str) and solver not in ("bnb", "portfolio"):
+            raise ValueError(
+                f"solver must be 'bnb', 'portfolio' or callable, "
+                f"got {solver!r}"
+            )
+        self.solver = solver
+        self.solver_workers = solver_workers
+        self.solver_seed = solver_seed
+        self.solver_backend = solver_backend
+        self.solver_clock = solver_clock
 
     @property
     def contention_model(self) -> ContentionModel:
@@ -172,10 +198,54 @@ class HaXCoNN:
         )
         return formulation, profiles
 
+    def symmetry_classes(self, workload: Workload) -> list[list[str]]:
+        """Groups of interchangeable stream variables.
+
+        Streams with the same model chain and repeat count are
+        symmetric under permutation (Scenario 1's two instances of the
+        same DNN): swapping their assignments never changes the
+        objective.  Streams with pipeline dependencies are excluded --
+        their index identifies them.
+        """
+        pipelined = {n for edge in workload.pipeline for n in edge}
+        groups: dict[tuple, list[str]] = {}
+        for n, dnn in enumerate(workload):
+            if n in pipelined:
+                continue
+            groups.setdefault((dnn.models, dnn.repeats), []).append(
+                f"dnn{n}"
+            )
+        return [names for names in groups.values() if len(names) > 1]
+
+    def canonicalize_assignment(
+        self, workload: Workload, assignment: Assignment
+    ) -> dict[str, tuple[str, ...]]:
+        """Sort identical streams' assignments into canonical order.
+
+        The symmetry-breaking constraints of :meth:`build_problem`
+        only admit the sorted representative of each permutation
+        class; warm-start seeds built from baselines must be
+        canonicalized the same way or they would be rejected as
+        infeasible.
+        """
+        out = dict(assignment)
+        for names in self.symmetry_classes(workload):
+            if all(name in out for name in names):
+                values = sorted(out[name] for name in names)
+                for name, value in zip(names, values):
+                    out[name] = value
+        return out
+
     def build_problem(
         self, workload: Workload, formulation: Formulation
     ) -> Problem:
-        """Compile the workload into a solver problem (Section 3.4)."""
+        """Compile the workload into a solver problem (Section 3.4).
+
+        Identical streams get a lexicographic ordering constraint
+        (symmetry breaking): every permutation class of assignments
+        keeps exactly its sorted representative, which preserves the
+        optimal objective while shrinking the search tree.
+        """
         accel_names = self.platform.accelerator_names
         domains = [
             enumerate_assignments(
@@ -256,11 +326,138 @@ class HaXCoNN:
                 for n, t in enumerate(per_dnn)
             )
 
+        constraints = []
+        for names in self.symmetry_classes(workload):
+            for left, right in zip(names, names[1:]):
+
+                def ordered(
+                    partial: Assignment, left=left, right=right
+                ) -> bool:
+                    a, b = partial.get(left), partial.get(right)
+                    return a is None or b is None or a <= b
+
+                constraints.append(ordered)
+
         return Problem(
             variables=variables,
             objective=objective,
+            constraints=constraints,
             lower_bound=lower_bound,
         )
+
+    def dominance_reduced(
+        self, formulation: Formulation, problem: Problem
+    ) -> Problem | None:
+        """Heuristically reduced problem for portfolio *hunter* workers.
+
+        Per stream, drop every assignment weakly dominated in
+        (isolated chain time, per-accelerator busy time, chain energy)
+        by another assignment.  Contention couples streams, so a
+        dominated assignment can in principle be part of the true
+        optimum -- hunters searching this problem find good incumbents
+        fast but never certify optimality; exact workers on the full
+        problem do.  Returns ``None`` when nothing was reducible.
+        """
+        accel_names = self.platform.accelerator_names
+        variables = []
+        reduced_any = False
+        for n, var in enumerate(problem.variables):
+            metrics = []
+            for a in var.domain:
+                busy = formulation.busy_times(n, a)
+                metrics.append(
+                    (
+                        formulation.chain_time(n, a),
+                        formulation.chain_energy(n, a),
+                        *(busy.get(acc, 0.0) for acc in accel_names),
+                    )
+                )
+            keep = []
+            for i, a in enumerate(var.domain):
+                dominated = False
+                for j in range(len(var.domain)):
+                    if j == i:
+                        continue
+                    better_eq = all(
+                        x <= y for x, y in zip(metrics[j], metrics[i])
+                    )
+                    # exact metric ties keep the earliest value only
+                    if better_eq and (metrics[j] != metrics[i] or j < i):
+                        dominated = True
+                        break
+                if not dominated:
+                    keep.append(a)
+            if not keep:  # defensive; a non-dominated value always exists
+                keep = list(var.domain)
+            reduced_any = reduced_any or len(keep) < len(var.domain)
+            variables.append(Variable(var.name, tuple(keep)))
+        if not reduced_any:
+            return None
+        return Problem(
+            variables=variables,
+            objective=problem.objective,
+            constraints=problem.constraints,
+            lower_bound=problem.lower_bound,
+        )
+
+    def contention_oblivious_seeds(
+        self,
+        workload: Workload,
+        formulation: Formulation,
+        problem: Problem,
+    ) -> list[tuple[str, dict[str, tuple[str, ...]]]]:
+        """Warm starts from the contention-oblivious baselines.
+
+        ``gpu-only`` (everything concurrent on the GPU),
+        ``best-isolated`` (each stream on its fastest single DSA by
+        isolated chain time), and ``spread`` (streams rotated across
+        accelerators, the naive-concurrent shape).  Only
+        domain-feasible uniform assignments are used, so the portfolio
+        root incumbent is never worse than the best of these.
+        """
+        gpu = self.platform.gpu.name
+        accel_names = self.platform.accelerator_names
+        uniform: list[dict[str, tuple[str, ...]]] = [
+            {a[0]: a for a in var.domain if len(set(a)) == 1}
+            for var in problem.variables
+        ]
+        candidates: list[tuple[str, dict[str, tuple[str, ...]]]] = []
+
+        if all(gpu in u for u in uniform):
+            candidates.append(
+                (
+                    "gpu-only",
+                    {
+                        var.name: uniform[n][gpu]
+                        for n, var in enumerate(problem.variables)
+                    },
+                )
+            )
+        if all(uniform):
+            candidates.append(
+                (
+                    "best-isolated",
+                    {
+                        var.name: min(
+                            uniform[n].values(),
+                            key=lambda a: formulation.chain_time(n, a),
+                        )
+                        for n, var in enumerate(problem.variables)
+                    },
+                )
+            )
+            spread = {}
+            for n, var in enumerate(problem.variables):
+                preferred = accel_names[n % len(accel_names)]
+                spread[var.name] = uniform[n].get(
+                    preferred, uniform[n].get(gpu, next(iter(uniform[n].values())))
+                )
+            candidates.append(("spread", spread))
+
+        return [
+            (label, self.canonicalize_assignment(workload, assignment))
+            for label, assignment in candidates
+        ]
 
     # ------------------------------------------------------------------
     def result_from_assignments(
@@ -320,31 +517,76 @@ class HaXCoNN:
         *,
         on_incumbent: Callable[[Incumbent], None] | None = None,
         initial: Sequence[Sequence[str]] | None = None,
+        warm_starts: Sequence[
+            tuple[str, Sequence[Sequence[str]]]
+        ] = (),
         serial_fallback: bool = True,
         scheduler_name: str = "haxconn",
     ) -> ScheduleResult:
         """Find the optimal schedule for ``workload``.
 
         ``initial`` optionally seeds the solver (D-HaX-CoNN starts
-        from the best naive schedule).  With ``serial_fallback`` (the
-        default) the serialized GPU-only schedule is also evaluated,
-        so the returned schedule is never worse than that baseline
-        *under the cost model* -- the Herald/H2H reimplementations
-        disable this, as those schedulers always co-locate.
+        from the best naive schedule).  ``warm_starts`` are labeled
+        per-stream assignment seeds -- the schedule cache supplies
+        fragments from similar mixes -- consumed by the portfolio
+        solver (silently unused by plain ``bnb``).  With
+        ``serial_fallback`` (the default) the serialized GPU-only
+        schedule is also evaluated, so the returned schedule is never
+        worse than that baseline *under the cost model* -- the
+        Herald/H2H reimplementations disable this, as those
+        schedulers always co-locate.
         """
         formulation, _profiles = self.build_formulation(workload)
         problem = self.build_problem(workload, formulation)
-        solver = BranchAndBound(
-            time_budget_s=self.time_budget_s,
-            node_budget=self.node_budget,
-            on_incumbent=on_incumbent,
-        )
         seed = None
         if initial is not None:
-            seed = {
-                f"dnn{n}": tuple(a) for n, a in enumerate(initial)
-            }
-        result = solver.solve(problem, initial=seed)
+            seed = self.canonicalize_assignment(
+                workload,
+                {f"dnn{n}": tuple(a) for n, a in enumerate(initial)},
+            )
+        if self.solver == "portfolio":
+            portfolio = PortfolioSolver(
+                workers=self.solver_workers,
+                time_budget_s=self.time_budget_s,
+                node_budget=self.node_budget,
+                on_incumbent=on_incumbent,
+                seed=self.solver_seed,
+                backend=self.solver_backend,
+                clock=self.solver_clock,
+            )
+            seeds = self.contention_oblivious_seeds(
+                workload, formulation, problem
+            )
+            for label, per_stream in warm_starts:
+                seeds.append(
+                    (
+                        label,
+                        self.canonicalize_assignment(
+                            workload,
+                            {
+                                f"dnn{n}": tuple(a)
+                                for n, a in enumerate(per_stream)
+                            },
+                        ),
+                    )
+                )
+            result = portfolio.solve(
+                problem,
+                initial=seed,
+                seeds=seeds,
+                reduced=self.dominance_reduced(formulation, problem),
+            )
+        elif callable(self.solver):
+            result = self.solver(
+                problem, initial=seed, on_incumbent=on_incumbent
+            )
+        else:
+            solver = BranchAndBound(
+                time_budget_s=self.time_budget_s,
+                node_budget=self.node_budget,
+                on_incumbent=on_incumbent,
+            )
+            result = solver.solve(problem, initial=seed)
 
         serial_schedule = serial_predicted = None
         if serial_fallback:

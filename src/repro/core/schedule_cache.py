@@ -103,6 +103,46 @@ class ScheduleCache:
         """This cache's key for ``workload``."""
         return workload_signature(workload, self.scheduler)
 
+    def warm_starts(
+        self, workload: Workload, *, limit: int = 2
+    ) -> list[tuple[str, list[tuple[str, ...]]]]:
+        """Warm-start seeds for ``workload`` composed from similar mixes.
+
+        A stream that appeared in any cached concurrent schedule --
+        under a *different* mix -- contributes its assignment there as
+        a fragment; a seed assembles one fragment per stream.  The
+        portfolio solver validates each seed against the current
+        domains (grouping or transition-budget changes simply drop
+        it), so stale fragments are harmless.  Returns up to ``limit``
+        labeled seeds in ``schedule(warm_starts=...)`` shape.
+        """
+        fragments: dict[str, list[tuple[str, ...]]] = {}
+        for schedule in self._store.values():
+            if schedule.serialized:
+                continue  # uniform-GPU fragments add nothing over gpu-only
+            for stream in schedule.per_dnn:
+                key = stream.dnn_name.split("@")[0]
+                bucket = fragments.setdefault(key, [])
+                if stream.assignment not in bucket:
+                    bucket.append(stream.assignment)
+
+        seeds: list[tuple[str, list[tuple[str, ...]]]] = []
+        keys = [d.name.split("@")[0] for d in workload.dnns]
+        for rank in range(max(0, limit)):
+            chosen: list[tuple[str, ...]] = []
+            fresh = rank == 0
+            for key in keys:
+                bucket = fragments.get(key)
+                if not bucket:
+                    return seeds  # a stream never seen: no composition
+                index = min(rank, len(bucket) - 1)
+                fresh = fresh or index == rank
+                chosen.append(bucket[index])
+            if not fresh:  # every bucket exhausted: would repeat rank-1
+                break
+            seeds.append((f"cache-{rank}", chosen))
+        return seeds
+
     def precompute(self, workloads: list[Workload]) -> None:
         """Offline phase: solve every CFG the deployment can reach."""
         for workload in workloads:

@@ -1,0 +1,123 @@
+"""Solver race: portfolio vs. single-threaded branch and bound.
+
+The paper leans on Z3 converging to near-optimal schedules within ~2s
+(Section 3.5); this reproduction's equivalent lever is the parallel
+anytime portfolio of :mod:`repro.solver.portfolio`.  This experiment
+races both solvers on the 3-network scenario and reports the anytime
+profile that matters to D-HaX-CoNN and the serving layer:
+
+- ``first_s`` -- time to the first incumbent (when the runtime can
+  first leave the naive schedule),
+- ``tt5pct_s`` -- time until the active incumbent is within 5% of the
+  certified optimum (when the phase has effectively converged),
+- ``total_s`` -- time to certified optimality.
+
+Run via ``haxconn experiment solver-race``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.experiments.common import format_table, get_db
+from repro.solver.bnb import Incumbent
+
+#: default scenario: three dissimilar networks on the three-DSA SD865
+PLATFORM = "sd865"
+MODELS = ("vgg19", "resnet152", "googlenet")
+MAX_GROUPS = 6
+MAX_TRANSITIONS = 2
+
+
+def anytime_profile(
+    incumbents: list[Incumbent], optimum: float, *, within: float = 0.05
+) -> tuple[float | None, float | None]:
+    """(time to first incumbent, time to within ``within`` of optimum)."""
+    first_s = incumbents[0].wall_time_s if incumbents else None
+    threshold = optimum * (1.0 + within) if optimum >= 0 else optimum * (
+        1.0 - within
+    )
+    tt_within = next(
+        (i.wall_time_s for i in incumbents if i.objective <= threshold),
+        None,
+    )
+    return first_s, tt_within
+
+
+def race(
+    platform: str = PLATFORM,
+    models: tuple[str, ...] = MODELS,
+    *,
+    max_groups: int = MAX_GROUPS,
+    max_transitions: int = MAX_TRANSITIONS,
+    workers: int = 3,
+    seed: int = 0,
+) -> list[dict[str, object]]:
+    """Race both solvers on one workload; one result row per solver."""
+    db = get_db(platform)
+    workload = Workload.concurrent(*models, objective="latency")
+    rows = []
+    for label, kwargs in (
+        ("bnb", {"solver": "bnb"}),
+        (
+            f"portfolio/{workers}",
+            {
+                "solver": "portfolio",
+                "solver_workers": workers,
+                "solver_seed": seed,
+            },
+        ),
+    ):
+        scheduler = HaXCoNN(
+            platform,
+            db=db,
+            max_groups=max_groups,
+            max_transitions=max_transitions,
+            **kwargs,
+        )
+        start = time.perf_counter()
+        result = scheduler.schedule(workload)
+        elapsed = time.perf_counter() - start
+        solve = result.solver
+        assert solve is not None
+        first_s, tt5 = anytime_profile(
+            solve.incumbents, solve.best.objective
+        )
+        rows.append(
+            {
+                "solver": label,
+                "workload": "+".join(models),
+                "objective_ms": solve.best.objective * 1e3,
+                "optimal": solve.optimal,
+                "first_s": first_s,
+                "tt5pct_s": tt5,
+                "total_s": elapsed,
+                "nodes": solve.nodes_explored,
+            }
+        )
+    return rows
+
+
+def run() -> list[dict[str, object]]:
+    return race()
+
+
+def format_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        (
+            "solver",
+            "workload",
+            "objective_ms",
+            "optimal",
+            "first_s",
+            "tt5pct_s",
+            "total_s",
+            "nodes",
+        ),
+        title="Solver race: anytime convergence "
+        f"({PLATFORM}, groups<={MAX_GROUPS}, "
+        f"transitions<={MAX_TRANSITIONS})",
+    )

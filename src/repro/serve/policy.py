@@ -245,10 +245,18 @@ class CachedAnytimePolicy(ServingPolicy):
         return serial
 
     def _solve_anytime(self, workload: Workload) -> _AnytimePhase:
-        """Build the swap plan for a novel mix (one solver run)."""
+        """Build the swap plan for a novel mix (one solver run).
+
+        Schedules already published for *other* mixes seed the solver
+        through :meth:`ScheduleCache.warm_starts` -- with the
+        portfolio solver, a good seed pulls the first strong incumbent
+        to the earliest update points.
+        """
         formulation, _ = self.scheduler.build_formulation(workload)
         naive = self._best_naive(workload, formulation)
-        solve = self.scheduler.schedule(workload)
+        solve = self.scheduler.schedule(
+            workload, warm_starts=self.cache.warm_starts(workload)
+        )
 
         candidates: list[tuple[float, ScheduleResult]] = [(0.0, naive)]
         best_objective = naive.predicted.objective

@@ -14,8 +14,20 @@ branch-and-bound optimizer** over finite-domain variables:
 """
 
 from repro.solver.problem import Problem, Variable, Infeasible
-from repro.solver.bnb import BranchAndBound, SolveResult, Incumbent
+from repro.solver.bnb import (
+    BranchAndBound,
+    SolveResult,
+    Incumbent,
+    StopSearch,
+)
 from repro.solver.exhaustive import solve_exhaustive
+from repro.solver.portfolio import (
+    PortfolioResult,
+    PortfolioSolver,
+    Strategy,
+    WorkerStats,
+    default_strategies,
+)
 
 __all__ = [
     "Problem",
@@ -24,5 +36,11 @@ __all__ = [
     "BranchAndBound",
     "SolveResult",
     "Incumbent",
+    "StopSearch",
     "solve_exhaustive",
+    "PortfolioSolver",
+    "PortfolioResult",
+    "Strategy",
+    "WorkerStats",
+    "default_strategies",
 ]

@@ -8,6 +8,15 @@ mid-flight (paper Section 3.5 / Fig. 7).
 
 When the search finishes without hitting a budget, the returned result
 is *certified optimal* (the property the paper obtains from Z3).
+
+For the parallel portfolio (:mod:`repro.solver.portfolio`) the search
+exposes two cooperation hooks: ``on_sync`` is invoked at deterministic
+node-count intervals (``sync_every``) and may tighten an *external*
+upper bound shared by other solvers racing the same problem, and
+``child_order`` diversifies the value-ordering heuristic.  Both hooks
+fire at points that are a pure function of the search itself -- never
+of wall-clock time -- which is what keeps portfolio results
+reproducible (see DESIGN.md).
 """
 
 from __future__ import annotations
@@ -17,6 +26,14 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.solver.problem import Assignment, Infeasible, Problem
+
+
+class StopSearch(Exception):
+    """Raised by an ``on_sync`` hook to abort the search cooperatively.
+
+    The solver returns its best-so-far result with ``optimal=False``,
+    exactly as if a budget had expired.
+    """
 
 
 @dataclass(frozen=True)
@@ -65,6 +82,21 @@ class BranchAndBound:
         Same, in explored-node count (deterministic budget for tests).
     on_incumbent:
         Called with each :class:`Incumbent` as soon as it is found.
+    child_order:
+        Value-ordering hook: receives the feasible ``(bound, value)``
+        children of a node (in domain order) and returns them in
+        exploration order.  ``None`` keeps the default ascending-bound
+        order.  Portfolio strategies use this to diversify dives.
+    sync_every / on_sync:
+        Cooperation hook for the solver portfolio: every
+        ``sync_every`` explored nodes, ``on_sync(nodes, best)`` runs
+        and may return a new *external* upper bound (an objective of a
+        solution found elsewhere); the search then prunes against
+        ``min(own best, external bound)`` and only records incumbents
+        strictly better than it.  The hook may raise
+        :class:`StopSearch` to abort.  Sync points depend only on the
+        node counter, so a worker's whole search is a deterministic
+        function of the bound sequence it is fed.
     """
 
     def __init__(
@@ -73,14 +105,26 @@ class BranchAndBound:
         time_budget_s: float | None = None,
         node_budget: int | None = None,
         on_incumbent: Callable[[Incumbent], None] | None = None,
+        child_order: Callable[
+            [list[tuple[float, Any]]], Sequence[tuple[float, Any]]
+        ]
+        | None = None,
+        sync_every: int | None = None,
+        on_sync: Callable[[int, Incumbent | None], float | None]
+        | None = None,
     ) -> None:
         if time_budget_s is not None and time_budget_s <= 0:
             raise ValueError("time_budget_s must be positive")
         if node_budget is not None and node_budget <= 0:
             raise ValueError("node_budget must be positive")
+        if sync_every is not None and sync_every <= 0:
+            raise ValueError("sync_every must be positive")
         self.time_budget_s = time_budget_s
         self.node_budget = node_budget
         self.on_incumbent = on_incumbent
+        self.child_order = child_order
+        self.sync_every = sync_every
+        self.on_sync = on_sync
 
     def solve(
         self,
@@ -103,7 +147,10 @@ class BranchAndBound:
                 pass
             else:
                 state.record(dict(initial), obj)
-        exhausted = state.dfs({}, 0)
+        try:
+            exhausted = state.dfs({}, 0)
+        except StopSearch:
+            exhausted = False
         return SolveResult(
             best=state.best,
             optimal=exhausted,
@@ -123,10 +170,19 @@ class _SearchState:
         self.nodes = 0
         self.best: Incumbent | None = None
         self.incumbents: list[Incumbent] = []
+        #: best objective known elsewhere (portfolio peers); pruning
+        #: and incumbent recording both respect it
+        self.external_bound = float("inf")
+        self._next_sync = cfg.sync_every
+
+    def limit(self) -> float:
+        """Current upper bound: best of own and external incumbents."""
+        own = self.best.objective if self.best is not None else float("inf")
+        return min(own, self.external_bound)
 
     # -- bookkeeping -----------------------------------------------------
     def record(self, assignment: dict[str, Any], objective: float) -> None:
-        if self.best is not None and objective >= self.best.objective:
+        if objective >= self.limit():
             return
         inc = Incumbent(
             assignment=assignment,
@@ -152,6 +208,18 @@ class _SearchState:
             return True
         return False
 
+    def maybe_sync(self) -> None:
+        """Run the portfolio sync hook at deterministic node counts."""
+        if self._next_sync is None or self.nodes < self._next_sync:
+            return
+        assert self.cfg.sync_every is not None
+        self._next_sync += self.cfg.sync_every
+        if self.cfg.on_sync is None:
+            return
+        bound = self.cfg.on_sync(self.nodes, self.best)
+        if bound is not None and bound < self.external_bound:
+            self.external_bound = bound
+
     # -- search ----------------------------------------------------------
     def dfs(self, partial: dict[str, Any], depth: int) -> bool:
         """Explore the subtree; returns True when fully exhausted."""
@@ -169,21 +237,31 @@ class _SearchState:
         for value in variable.domain:
             partial[variable.name] = value
             self.nodes += 1
-            if not problem.feasible(partial):
+            self.maybe_sync()
+            try:
+                if not problem.feasible(partial):
+                    continue
+                bound = (
+                    problem.lower_bound(partial)
+                    if problem.lower_bound is not None
+                    else float("-inf")
+                )
+            except Infeasible:
+                # constraints and bounds may signal infeasibility the
+                # same way objectives do; the subtree is dead either way
                 continue
-            bound = (
-                problem.lower_bound(partial)
-                if problem.lower_bound is not None
-                else float("-inf")
-            )
             children.append((bound, value))
         partial.pop(variable.name, None)
 
+        if self.cfg.child_order is not None:
+            ordered = self.cfg.child_order(children)
+        else:
+            ordered = sorted(children, key=lambda c: c[0])
         exhausted = True
-        for bound, value in sorted(children, key=lambda c: c[0]):
+        for bound, value in ordered:
             if self.budget_exceeded():
                 return False
-            if self.best is not None and bound >= self.best.objective:
+            if bound >= self.limit():
                 continue  # pruned subtrees are still fully accounted for
             partial[variable.name] = value
             if not self.dfs(partial, depth + 1):

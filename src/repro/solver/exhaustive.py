@@ -21,9 +21,9 @@ def solve_exhaustive(problem: Problem) -> SolveResult:
     for values in itertools.product(*(v.domain for v in problem.variables)):
         nodes += 1
         assignment = dict(zip(names, values))
-        if not problem.feasible(assignment):
-            continue
         try:
+            if not problem.feasible(assignment):
+                continue
             objective = problem.objective(assignment)
         except Infeasible:
             continue

@@ -1,0 +1,114 @@
+"""Seeded random :class:`Problem` instances for differential testing.
+
+Each instance is a small finite-domain minimization whose structure
+mirrors the scheduling core: per-value base costs (a DNN's isolated
+latency on an accelerator), non-negative pairwise interaction costs
+(contention slowdowns), optional capacity constraints (accelerator
+budgets), and an admissible lower bound (assigned cost so far plus each
+unassigned variable's cheapest base cost -- interactions only ever add).
+
+Everything is derived from ``random.Random(seed)``, so the same seed
+reproduces the same instance, optimum, and search trace on every
+platform.  Some instances are deliberately infeasible, and a fraction
+of objectives raise :class:`Infeasible` on a random forbidden
+assignment pattern, exercising the solvers' error paths.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.solver.problem import Assignment, Infeasible, Problem, Variable
+
+
+@dataclass(frozen=True)
+class InstanceSpec:
+    """Shape parameters for :func:`random_problem`."""
+
+    variables: int = 4
+    max_domain: int = 4
+    #: probability that a capacity constraint is attached
+    constrained: float = 0.7
+    #: probability that one random full assignment raises Infeasible
+    trapped: float = 0.2
+
+
+def random_problem(
+    seed: int, spec: InstanceSpec | None = None
+) -> Problem:
+    """A reproducible random instance; the same seed is the same problem."""
+    spec = spec or InstanceSpec()
+    rng = random.Random(seed)
+    n = rng.randint(2, max(2, spec.variables))
+    names = [f"v{i}" for i in range(n)]
+    domains = {
+        name: tuple(range(rng.randint(2, max(2, spec.max_domain))))
+        for name in names
+    }
+    base = {
+        (name, value): rng.uniform(1.0, 10.0)
+        for name in names
+        for value in domains[name]
+    }
+    pairs = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < 0.6:
+                for a in domains[names[i]]:
+                    for b in domains[names[j]]:
+                        pairs[(names[i], a, names[j], b)] = rng.uniform(
+                            0.0, 4.0
+                        )
+
+    trap: dict[str, int] | None = None
+    if rng.random() < spec.trapped:
+        trap = {name: rng.choice(domains[name]) for name in names}
+
+    def objective(model: Assignment) -> float:
+        if trap is not None and all(
+            model.get(name) == value for name, value in trap.items()
+        ):
+            raise Infeasible("trapped assignment")
+        total = sum(base[(name, model[name])] for name in names)
+        for (ni, a, nj, b), cost in pairs.items():
+            if model[ni] == a and model[nj] == b:
+                total += cost
+        return total
+
+    min_base = {
+        name: min(base[(name, value)] for value in domains[name])
+        for name in names
+    }
+
+    def lower_bound(partial: Assignment) -> float:
+        total = 0.0
+        for name in names:
+            if name in partial:
+                total += base[(name, partial[name])]
+            else:
+                total += min_base[name]
+        for (ni, a, nj, b), cost in pairs.items():
+            if partial.get(ni) == a and partial.get(nj) == b:
+                total += cost
+        return total
+
+    constraints = []
+    if rng.random() < spec.constrained:
+        # monotone capacity constraint: sum of chosen values <= cap.
+        # cap can make the instance infeasible, which is intentional.
+        cap = rng.randint(0, sum(max(domains[name]) for name in names))
+
+        def within_cap(partial: Assignment) -> bool:
+            return (
+                sum(partial.get(name, 0) for name in names) <= cap
+            )
+
+        constraints.append(within_cap)
+
+    return Problem(
+        variables=[Variable(name, domains[name]) for name in names],
+        objective=objective,
+        constraints=constraints,
+        lower_bound=lower_bound,
+    )

@@ -113,7 +113,13 @@ class Optimizer:
 
     # -- solving -----------------------------------------------------
     def check(self) -> dict[str, Any]:
-        """Solve; return the optimal model or raise Unsatisfiable."""
+        """Solve; return the optimal model or raise Unsatisfiable.
+
+        Every infeasibility signal -- constraints that return False,
+        constraints or objectives that raise :class:`Infeasible`, or an
+        empty search -- surfaces as :class:`Unsatisfiable`, never as a
+        bare :class:`Infeasible`.
+        """
         if not self._variables:
             raise ValueError("no variables declared")
         problem = Problem(
@@ -122,7 +128,12 @@ class Optimizer:
             constraints=self._constraints,
             lower_bound=self._lower_bound,
         )
-        self._last = self._solver.solve(problem)
+        try:
+            self._last = self._solver.solve(problem)
+        except Infeasible as exc:
+            # user-supplied hooks may signal infeasibility by raising;
+            # the documented contract is the Unsatisfiable subclass
+            raise Unsatisfiable(str(exc)) from exc
         if self._last.best is None:
             raise Unsatisfiable(
                 "constraints admit no assignment "

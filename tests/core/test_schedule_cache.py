@@ -141,3 +141,62 @@ class TestCache:
         ]
         measured = run_schedule(result, xavier)
         assert measured.latency_ms > 0
+
+
+class TestWarmStarts:
+    def test_empty_cache_yields_no_seeds(self, scheduler, workload):
+        assert ScheduleCache(scheduler).warm_starts(workload) == []
+
+    def test_fragments_compose_across_mixes(self, scheduler):
+        """Streams seen under *other* mixes seed a novel combination."""
+        cache = ScheduleCache(scheduler)
+        cache.get(Workload.concurrent("googlenet", "resnet101"))
+        cache.get(Workload.concurrent("resnet50", "resnet101"))
+        novel = Workload.concurrent("googlenet", "resnet50")
+        seeds = cache.warm_starts(novel)
+        assert seeds, "both streams were cached under other mixes"
+        label, per_stream = seeds[0]
+        assert label == "cache-0"
+        assert len(per_stream) == len(novel)
+        profiles = [
+            scheduler.db.profile(m, max_groups=scheduler.max_groups)
+            for m in ("googlenet", "resnet50")
+        ]
+        for fragment, profile in zip(per_stream, profiles):
+            assert len(fragment) == len(profile)
+
+    def test_unseen_stream_blocks_composition(self, scheduler):
+        cache = ScheduleCache(scheduler)
+        cache.get(Workload.concurrent("googlenet", "resnet101"))
+        novel = Workload.concurrent("googlenet", "vgg16")
+        assert cache.warm_starts(novel) == []
+
+    def test_seeds_accepted_by_portfolio_schedule(
+        self, xavier, xavier_db
+    ):
+        """End to end: cached fragments feed the portfolio root."""
+        scheduler = HaXCoNN(
+            xavier,
+            db=xavier_db,
+            max_groups=4,
+            max_transitions=1,
+            solver="portfolio",
+            solver_workers=2,
+            solver_backend="threads",
+            solver_clock="nodes",
+        )
+        cache = ScheduleCache(scheduler)
+        # both feeder mixes schedule concurrently on xavier, so each
+        # stream leaves a non-serialized fragment behind
+        cache.get(Workload.concurrent("googlenet", "resnet101"))
+        cache.get(Workload.concurrent("googlenet", "resnet50"))
+        novel = Workload.concurrent("resnet101", "resnet50")
+        result = scheduler.schedule(
+            novel, warm_starts=cache.warm_starts(novel)
+        )
+        warm = dict(result.solver.warm_starts)
+        assert "cache-0" in warm
+        # the composed fragments come from this scheduler's own domains,
+        # so the seed must evaluate (not be dropped as invalid)
+        assert warm["cache-0"] is not None
+        assert result.solver.optimal

@@ -1,0 +1,169 @@
+"""Differential tests: four solvers, one optimum.
+
+Every solver in the package -- exhaustive enumeration, branch and
+bound, the ``Optimizer`` SMT facade, and the parallel portfolio --
+must report the same optimal objective on the same instance, across a
+seeded batch of >= 50 random problems and on real scheduling
+workloads.  Incumbent sequences must be monotonically improving and
+feasible throughout.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.solver import (
+    BranchAndBound,
+    PortfolioSolver,
+    solve_exhaustive,
+)
+from repro.solver.problem import Infeasible, Problem
+from repro.solver.random_instances import InstanceSpec, random_problem
+from repro.solver.smt import Optimizer, Unsatisfiable
+
+SEEDS = range(60)
+
+
+def optimizer_result(problem: Problem) -> float | None:
+    """Solve via the SMT facade; None when unsatisfiable."""
+    opt = Optimizer()
+    for v in problem.variables:
+        opt.enum_var(v.name, v.domain)
+    for c in problem.constraints:
+        opt.add(c)
+    opt.minimize(problem.objective, lower_bound=problem.lower_bound)
+    try:
+        model = opt.check()
+    except Unsatisfiable:
+        return None
+    return problem.evaluate(model)
+
+
+def assert_monotone_feasible(problem: Problem, incumbents) -> None:
+    previous = float("inf")
+    last_t, last_n = -1.0, -1
+    for inc in incumbents:
+        assert inc.objective < previous
+        assert inc.wall_time_s >= last_t
+        assert inc.nodes_explored >= last_n
+        assert problem.evaluate(inc.assignment) == pytest.approx(
+            inc.objective
+        )
+        previous = inc.objective
+        last_t, last_n = inc.wall_time_s, inc.nodes_explored
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_instance_agreement(seed):
+    problem = random_problem(seed)
+    reference = solve_exhaustive(problem)
+    expected = (
+        reference.best.objective if reference.best is not None else None
+    )
+
+    bnb = BranchAndBound().solve(problem)
+    assert bnb.optimal
+    assert_monotone_feasible(problem, bnb.incumbents)
+
+    backend = "fork" if seed % 10 == 0 else "threads"
+    portfolio = PortfolioSolver(
+        workers=3, backend=backend, clock="nodes", sync_every=8, seed=1
+    ).solve(problem)
+    assert portfolio.optimal
+    assert_monotone_feasible(problem, portfolio.incumbents)
+
+    smt = optimizer_result(problem)
+
+    for label, got in (
+        ("bnb", bnb.best.objective if bnb.best else None),
+        (
+            "portfolio",
+            portfolio.best.objective if portfolio.best else None,
+        ),
+        ("smt", smt),
+    ):
+        if expected is None:
+            assert got is None, f"{label} found a solution on an " \
+                "instance exhaustive enumeration proves infeasible"
+        else:
+            assert got == pytest.approx(expected, rel=1e-12), label
+
+
+def test_larger_instances_agree():
+    spec = InstanceSpec(variables=6, max_domain=5)
+    for seed in range(8):
+        problem = random_problem(1000 + seed, spec)
+        reference = solve_exhaustive(problem)
+        portfolio = PortfolioSolver(
+            workers=4, backend="threads", clock="nodes", sync_every=16
+        ).solve(problem)
+        assert portfolio.optimal
+        if reference.best is None:
+            assert portfolio.best is None
+        else:
+            assert portfolio.best.objective == pytest.approx(
+                reference.best.objective
+            )
+
+
+@pytest.mark.parametrize(
+    "models",
+    [
+        ("alexnet", "resnet18"),
+        ("googlenet", "mobilenet_v1"),
+        ("vgg16", "resnet18", "googlenet"),
+    ],
+)
+def test_real_workload_agreement(xavier, xavier_db, models):
+    """2-3-network scheduling problems: all solvers hit one optimum."""
+    scheduler = HaXCoNN(
+        xavier, db=xavier_db, max_groups=3, max_transitions=1
+    )
+    workload = Workload.concurrent(*models)
+    formulation, _ = scheduler.build_formulation(workload)
+    problem = scheduler.build_problem(workload, formulation)
+
+    reference = solve_exhaustive(problem)
+    assert reference.best is not None
+
+    bnb = BranchAndBound().solve(problem)
+    portfolio = PortfolioSolver(
+        workers=3, backend="threads", clock="nodes"
+    ).solve(
+        problem,
+        seeds=scheduler.contention_oblivious_seeds(
+            workload, formulation, problem
+        ),
+        reduced=scheduler.dominance_reduced(formulation, problem),
+    )
+    smt = optimizer_result(problem)
+
+    assert bnb.optimal and portfolio.optimal
+    assert bnb.best.objective == pytest.approx(reference.best.objective)
+    assert portfolio.best.objective == pytest.approx(
+        reference.best.objective
+    )
+    assert smt == pytest.approx(reference.best.objective)
+    assert_monotone_feasible(problem, portfolio.incumbents)
+
+
+def test_all_infeasible_instance_agreement():
+    problem = random_problem(3)
+    blocked = Problem(
+        variables=problem.variables,
+        objective=problem.objective,
+        constraints=[lambda m: False],
+        lower_bound=problem.lower_bound,
+    )
+    assert solve_exhaustive(blocked).best is None
+    bnb = BranchAndBound().solve(blocked)
+    assert bnb.best is None and bnb.optimal
+    portfolio = PortfolioSolver(workers=2, backend="threads").solve(
+        blocked
+    )
+    assert portfolio.best is None and portfolio.optimal
+    with pytest.raises(Infeasible):
+        _ = portfolio.assignment
+    assert optimizer_result(blocked) is None

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.solver.problem import Infeasible
 from repro.solver.smt import Optimizer, Unsatisfiable
 
 
@@ -49,6 +50,46 @@ class TestConstraintsAndObjectives:
         opt.add(lambda m: False)
         with pytest.raises(Unsatisfiable):
             opt.check()
+
+    def test_constraint_raising_infeasible_is_unsatisfiable(self):
+        """The documented contract: every infeasibility path raises
+        the Unsatisfiable subclass, including constraints that signal
+        by raising Infeasible instead of returning False (the bug this
+        pinned down surfaced a bare Infeasible to callers)."""
+
+        def veto(model):
+            raise Infeasible("vetoed")
+
+        opt = Optimizer()
+        opt.bool_var("b")
+        opt.add(veto)
+        with pytest.raises(Unsatisfiable):
+            opt.check()
+
+    def test_objective_raising_infeasible_is_unsatisfiable(self):
+        def cursed(model):
+            raise Infeasible("no assignment is evaluable")
+
+        opt = Optimizer()
+        opt.bool_var("b")
+        opt.minimize(cursed)
+        with pytest.raises(Unsatisfiable):
+            opt.check()
+
+    def test_partial_infeasibility_only_prunes_that_subtree(self):
+        """An Infeasible raised for *some* assignments must not be
+        treated as global unsatisfiability."""
+
+        def picky(model):
+            if model["x"] == 0:
+                raise Infeasible("x=0 unsupported")
+            return float(model["x"])
+
+        opt = Optimizer()
+        opt.enum_var("x", [0, 1, 2])
+        opt.minimize(picky)
+        assert opt.check()["x"] == 1
+        assert opt.statistics.optimal
 
     def test_partial_model_key_errors_tolerated(self):
         """Constraints touching undecided variables defer gracefully."""

@@ -113,6 +113,7 @@ class TestCommands:
             "batching",
             "dsa-design",
             "serving",
+            "solver-race",
         }
 
     def test_serve_command(self, capsys, tmp_path):
