@@ -1,0 +1,64 @@
+"""Static analysis: schedule certificates and determinism lints.
+
+The solvers in :mod:`repro.solver` are cross-checked only against each
+other; a shared misreading of a paper constraint would pass every
+differential test.  This package closes that hole with two independent
+checkers:
+
+- :mod:`repro.analysis.verify` -- a **schedule certificate checker**
+  that re-derives objectives and feasibility from first principles
+  (per-layer latencies, Eq. 3 transition charges, Eqs. 7-8 contention
+  slowdowns over the actual overlap windows) and checks every Eq. 1-11
+  constraint, emitting structured :class:`~repro.analysis.diagnostics.
+  Violation` records with a minimal failing-constraint core;
+- :mod:`repro.analysis.lint` -- an **AST lint pass** over the codebase
+  that mechanically enforces the invariants the deterministic solver
+  portfolio and virtual-time simulator depend on (seeded randomness,
+  no wall-clock reads in virtual-time code, epoch-locked shared-state
+  mutation, no unordered-set iteration feeding schedule construction).
+
+Both surface through ``haxconn verify`` / ``haxconn lint`` and the
+``lint-and-verify`` CI job.
+"""
+
+from repro.analysis.diagnostics import (
+    Certificate,
+    CertificateError,
+    Violation,
+    ViolationKind,
+    require,
+)
+from repro.analysis.lint import (
+    LintConfig,
+    LintFinding,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.verify import (
+    verify_assignment,
+    verify_cache_entry,
+    verify_items,
+    verify_result,
+    verify_schedule,
+    verify_solve,
+)
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "Violation",
+    "ViolationKind",
+    "LintConfig",
+    "LintFinding",
+    "RULES",
+    "lint_paths",
+    "lint_source",
+    "require",
+    "verify_assignment",
+    "verify_cache_entry",
+    "verify_items",
+    "verify_result",
+    "verify_schedule",
+    "verify_solve",
+]

@@ -1,0 +1,171 @@
+"""Structured verification diagnostics.
+
+A verifier never answers with a bare boolean: every failed check is a
+:class:`Violation` tagged with the paper constraint it corresponds to,
+and the :class:`Certificate` collecting them exposes a *minimal
+failing-constraint core* -- the violations of the most fundamental
+check stage that failed.  A schedule whose assignment shape is already
+wrong also fails every timing check downstream; reporting the timing
+fallout alongside the structural root cause buries the signal, so
+:meth:`Certificate.core` keeps only the first failing stage (the SMT
+unsat-core discipline, scaled down to our fixed check pipeline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class ViolationKind(str, Enum):
+    """What a verifier check found, mapped to the paper's equations."""
+
+    #: Eq. 1-2: every layer group of every stream assigned exactly once
+    ASSIGNMENT = "assignment"
+    #: Eq. 1: the assigned DSA cannot execute the group at all
+    CAPABILITY = "capability"
+    #: Eq. 1: segmentation exceeds the transition budget (groups must
+    #: form contiguous per-DSA segments)
+    CONTIGUITY = "contiguity"
+    #: cache key does not describe this schedule (stale entry)
+    SIGNATURE = "signature"
+    #: a generic problem constraint rejects the assignment
+    CONSTRAINT = "constraint"
+    #: Eq. 2: claimed standalone latency disagrees with the profile
+    LATENCY = "latency"
+    #: Eqs. 4-6: items of one stream overlap or run out of order
+    ORDERING = "ordering"
+    #: Eq. 3: a DSA switch is charged less than its flush+load cost
+    TRANSITION = "transition"
+    #: Eq. 9: cross-stream same-DSA overlap exceeds the epsilon window
+    OVERLAP = "overlap"
+    #: Eqs. 7-8: claimed slowdowns are not the contention-interval
+    #: fixed point of the claimed timeline
+    CONTENTION = "contention"
+    #: Eqs. 10-11: claimed objective disagrees with the re-derivation
+    OBJECTIVE = "objective"
+
+    def __str__(self) -> str:  # "transition", not "ViolationKind..."
+        return self.value
+
+
+#: check-pipeline order: structural validity before timing before cost.
+#: :meth:`Certificate.core` returns the violations of the earliest
+#: stage present, because later stages presuppose the earlier ones.
+STAGE_ORDER: tuple[ViolationKind, ...] = (
+    ViolationKind.ASSIGNMENT,
+    ViolationKind.CAPABILITY,
+    ViolationKind.CONTIGUITY,
+    ViolationKind.SIGNATURE,
+    ViolationKind.CONSTRAINT,
+    ViolationKind.LATENCY,
+    ViolationKind.ORDERING,
+    ViolationKind.TRANSITION,
+    ViolationKind.OVERLAP,
+    ViolationKind.CONTENTION,
+    ViolationKind.OBJECTIVE,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed verifier check."""
+
+    kind: ViolationKind
+    #: where in the certificate: ``"dnn0 group 3"``, ``"boundary 2"``...
+    where: str
+    message: str
+    #: independently re-derived value (when numeric comparison failed)
+    expected: float | str | None = None
+    #: the certificate's claimed value
+    actual: float | str | None = None
+    #: paper constraint this check enforces, e.g. ``"Eq. 9"``
+    equation: str | None = None
+
+    def describe(self) -> str:
+        parts = [f"[{self.kind}] {self.where}: {self.message}"]
+        if self.expected is not None or self.actual is not None:
+            parts.append(f"(expected {self.expected}, got {self.actual})")
+        if self.equation is not None:
+            parts.append(f"<{self.equation}>")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Certificate:
+    """Outcome of one verification run.
+
+    ``objective`` is the verifier's own re-derivation (``None`` when a
+    structural violation prevented re-deriving one at all);
+    ``claimed_objective`` is what the certificate under test asserted.
+    """
+
+    violations: tuple[Violation, ...]
+    #: names of the checks that actually ran, in pipeline order
+    checks_run: tuple[str, ...]
+    objective: float | None = None
+    claimed_objective: float | None = None
+    per_dnn_time: tuple[float, ...] | None = None
+    makespan: float | None = None
+    #: fixed-point iterations the independent re-derivation needed
+    fixed_point_iterations: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def core(self) -> tuple[Violation, ...]:
+        """Minimal failing-constraint core.
+
+        The violations of the earliest failing stage of the check
+        pipeline -- the root cause, with downstream fallout stripped.
+        Empty when the certificate verifies clean.
+        """
+        for stage in STAGE_ORDER:
+            hits = tuple(v for v in self.violations if v.kind is stage)
+            if hits:
+                return hits
+        return ()
+
+    def kinds(self) -> frozenset[ViolationKind]:
+        return frozenset(v.kind for v in self.violations)
+
+    def describe(self) -> str:
+        if self.ok:
+            obj = (
+                f" objective={self.objective:.6g}"
+                if self.objective is not None
+                else ""
+            )
+            return (
+                f"certificate OK ({len(self.checks_run)} checks:"
+                f" {', '.join(self.checks_run)}){obj}"
+            )
+        lines = [
+            f"certificate FAILED: {len(self.violations)} violation(s), "
+            f"core = {', '.join(str(v.kind) for v in self.core())}"
+        ]
+        core = set(map(id, self.core()))
+        for v in self.violations:
+            marker = "*" if id(v) in core else " "
+            lines.append(f" {marker} {v.describe()}")
+        return "\n".join(lines)
+
+
+class CertificateError(RuntimeError):
+    """A ``verify=True`` debug mode found a violated certificate."""
+
+    def __init__(self, certificate: Certificate, context: str = "") -> None:
+        self.certificate = certificate
+        prefix = f"{context}: " if context else ""
+        super().__init__(prefix + certificate.describe())
+
+
+def require(certificate: Certificate, context: str = "") -> Certificate:
+    """Raise :class:`CertificateError` unless the certificate is clean."""
+    if not certificate.ok:
+        raise CertificateError(certificate, context)
+    return certificate

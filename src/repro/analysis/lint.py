@@ -1,0 +1,762 @@
+"""Determinism / concurrency lint pass over the codebase.
+
+PR 2's solver portfolio promises byte-level deterministic results:
+prefix-stable seeds, virtual-time ("nodes"-clock) budgets, and
+epoch-synchronized incumbent sharing.  Those guarantees are one
+careless edit away from silently breaking -- an unseeded RNG, a
+``time.perf_counter()`` that sneaks wall time into virtual-time logic,
+a thread target mutating shared state outside the lock, a ``for x in
+some_set`` feeding schedule construction.  None of these crash; they
+just make runs irreproducible, which is the one failure mode our
+differential tests cannot see.
+
+This module is a small AST analysis that mechanically flags exactly
+those bug classes.  Rule catalog (stable IDs, referenced from
+docs/architecture.md):
+
+========  ==========================================================
+HAX001    unseeded randomness: module-level ``random.*`` /
+          legacy ``numpy.random.*`` draws, or ``random.Random()`` /
+          ``default_rng()`` / ``RandomState()`` without a seed
+HAX002    wall-clock read (``time.time``/``perf_counter``/
+          ``monotonic``/``datetime.now``...) inside virtual-time code
+HAX003    thread/process target mutates captured shared state outside
+          a ``with <lock>`` block (queues are the sanctioned channel)
+HAX004    iteration over a ``set`` feeding an order-sensitive
+          construct (``for`` loop, list/dict comprehension,
+          ``list()``/``tuple()``/``join`` conversion)
+HAX005    ``time.sleep`` inside virtual-time code
+HAX006    silent exception swallowing (``except: pass`` or
+          ``except Exception: pass``)
+HAX007    mutable default argument
+HAX008    global RNG seeding (``random.seed`` / ``numpy.random.seed``)
+          in library code -- breaks composition of seeded components
+========  ==========================================================
+
+Sanctioned exceptions are waived **per line, with a reason**::
+
+    t = time.perf_counter()  # haxlint: allow[HAX002] wall budget API
+
+A waiver without a matching finding is itself reported (HAX000), so
+stale pragmas cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import fnmatch
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+#: rule id -> one-line description (the lint's public catalog)
+RULES: dict[str, str] = {
+    "HAX000": "waiver pragma does not match any finding on its line",
+    "HAX001": "unseeded random source",
+    "HAX002": "wall-clock read in virtual-time code",
+    "HAX003": "thread target mutates shared state outside a lock",
+    "HAX004": "set iteration feeds an order-sensitive construct",
+    "HAX005": "time.sleep in virtual-time code",
+    "HAX006": "silent exception swallowing",
+    "HAX007": "mutable default argument",
+    "HAX008": "global RNG seeding in library code",
+}
+
+_PRAGMA_RE = re.compile(
+    r"#\s*haxlint:\s*allow\[([A-Za-z0-9_,\s]+)\]\s*(.*)"
+)
+
+_RANDOM_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "getrandbits",
+}
+_NUMPY_LEGACY_DRAWS = {
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "exponential",
+    "poisson",
+    "bytes",
+}
+_WALL_CLOCKS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+#: mutating container methods HAX003 watches for on captured objects
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "discard",
+    "remove",
+    "pop",
+    "popitem",
+    "clear",
+    "update",
+    "setdefault",
+    "appendleft",
+    "extendleft",
+    "sort",
+    "reverse",
+}
+#: thread-safe channel methods that are the sanctioned way for
+#: portfolio workers to communicate (HAX003 never flags these)
+_QUEUE_OPS = {
+    "put",
+    "put_nowait",
+    "get",
+    "get_nowait",
+    "task_done",
+    "join",
+    "qsize",
+    "empty",
+    "full",
+    "set",
+    "is_set",
+    "wait",
+}
+_LOCK_HINTS = ("lock", "mutex", "cond", "sem")
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """What to check and where virtual-time discipline applies."""
+
+    #: rules to run (default: every catalog rule except the meta rule)
+    select: tuple[str, ...] = tuple(
+        r for r in RULES if r != "HAX000"
+    )
+    #: glob patterns (matched against the posix path) delimiting the
+    #: virtual-time core where HAX002/HAX005 apply.  Profilers and
+    #: experiment drivers legitimately read wall clocks.
+    virtual_time_globs: tuple[str, ...] = (
+        "*/repro/solver/*",
+        "*/repro/core/*",
+        "*/repro/soc/*",
+        "*/repro/runtime/*",
+        "*/repro/serve/*",
+        "*/repro/contention/*",
+        "*/repro/analysis/*",
+    )
+    #: report waivers that silence nothing (HAX000)
+    flag_stale_waivers: bool = True
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} {self.message}"
+        )
+
+
+@dataclass
+class _Scope:
+    """One function (or the module body) during the walk."""
+
+    locals: set[str] = field(default_factory=set)
+    is_thread_target: bool = False
+    lock_depth: int = 0
+    set_vars: set[str] = field(default_factory=set)
+
+
+class _Aliases:
+    """Canonical dotted names behind local import aliases."""
+
+    def __init__(self) -> None:
+        self._map: dict[str, str] = {}
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    canonical = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    self._map[local] = canonical
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports are repo-internal
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self._map[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """Dotted canonical name of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self._map.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+
+def _is_set_expr(node: ast.expr, scope: _Scope) -> bool:
+    """Statically set-typed: literal, ``set(...)``, comprehension,
+    set-algebra of sets, or a variable assigned one in this scope."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        if node.func.id in {"set", "frozenset"}:
+            return True
+    if isinstance(node, ast.Name):
+        return node.id in scope.set_vars
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, scope) or _is_set_expr(
+            node.right, scope
+        )
+    if isinstance(node, ast.Call) and isinstance(
+        node.func, ast.Attribute
+    ):
+        if node.func.attr in {
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        }:
+            return _is_set_expr(node.func.value, scope)
+    return False
+
+
+def _is_lock_context(node: ast.expr) -> bool:
+    name: str | None = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Call):
+        return _is_lock_context(node.func)
+    if name is None:
+        return False
+    lowered = name.lower()
+    return any(h in lowered for h in _LOCK_HINTS)
+
+
+def _collect_thread_targets(tree: ast.AST) -> set[str]:
+    """Function names handed to Thread/Process targets or executors."""
+    targets: set[str] = set()
+
+    def remember(node: ast.expr) -> None:
+        if isinstance(node, ast.Name):
+            targets.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            targets.add(node.attr)
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        callee: str | None = None
+        if isinstance(node.func, ast.Name):
+            callee = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            callee = node.func.attr
+        if callee in {"Thread", "Process"}:
+            for kw in node.keywords:
+                if kw.arg == "target":
+                    remember(kw.value)
+        elif callee == "submit" and node.args:
+            remember(node.args[0])
+    return targets
+
+
+def _function_locals(fn: ast.AST) -> set[str]:
+    """Parameter and simple assigned names of one function body
+    (nested functions excluded -- their locals are their own)."""
+    names: set[str] = set()
+    assert isinstance(
+        fn, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+    )
+    if not isinstance(fn, ast.Module):
+        args = fn.args
+        for a in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+        ):
+            names.add(a.arg)
+        if args.vararg:
+            names.add(args.vararg.arg)
+        if args.kwarg:
+            names.add(args.kwarg.arg)
+
+    class _Locals(ast.NodeVisitor):
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            names.add(node.name)
+
+        def visit_AsyncFunctionDef(
+            self, node: ast.AsyncFunctionDef
+        ) -> None:
+            names.add(node.name)
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            pass  # separate scope
+
+        def visit_Name(self, node: ast.Name) -> None:
+            if isinstance(node.ctx, ast.Store):
+                names.add(node.id)
+
+        def visit_Global(self, node: ast.Global) -> None:
+            names.difference_update(node.names)
+
+        def visit_Nonlocal(self, node: ast.Nonlocal) -> None:
+            names.difference_update(node.names)
+
+    walker = _Locals()
+    for stmt in fn.body:
+        walker.visit(stmt)
+    return names
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(
+        self,
+        path: str,
+        config: LintConfig,
+        aliases: _Aliases,
+        thread_targets: set[str],
+    ) -> None:
+        self.path = path
+        self.config = config
+        self.aliases = aliases
+        self.thread_targets = thread_targets
+        self.findings: list[LintFinding] = []
+        self.scopes: list[_Scope] = []
+        self.virtual_time = any(
+            fnmatch.fnmatch(path, pat)
+            for pat in config.virtual_time_globs
+        )
+
+    # -- plumbing ------------------------------------------------------
+
+    def report(
+        self, rule: str, node: ast.AST, message: str
+    ) -> None:
+        if rule not in self.config.select:
+            return
+        self.findings.append(
+            LintFinding(
+                rule=rule,
+                path=self.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+            )
+        )
+
+    @property
+    def scope(self) -> _Scope:
+        return self.scopes[-1]
+
+    def _enter_function(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        self._check_mutable_defaults(node)
+        scope = _Scope(
+            locals=_function_locals(node),
+            is_thread_target=node.name in self.thread_targets,
+        )
+        self.scopes.append(scope)
+        for stmt in node.body:
+            self.visit(stmt)
+        self.scopes.pop()
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(
+        self, node: ast.AsyncFunctionDef
+    ) -> None:
+        self._enter_function(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        locked = any(
+            _is_lock_context(item.context_expr) for item in node.items
+        )
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        if locked:
+            self.scope.lock_depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if locked:
+            self.scope.lock_depth -= 1
+
+    # -- HAX007: mutable defaults --------------------------------------
+
+    def _check_mutable_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> None:
+        for default in list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in {"list", "dict", "set", "bytearray"}
+            )
+            if mutable:
+                self.report(
+                    "HAX007",
+                    default,
+                    f"mutable default argument in {node.name}(); "
+                    "defaults are evaluated once and shared across "
+                    "calls",
+                )
+
+    # -- assignments: set-typed inference + HAX003 ---------------------
+
+    def _note_set_assignment(self, node: ast.Assign) -> None:
+        if _is_set_expr(node.value, self.scope):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.scope.set_vars.add(target.id)
+        else:
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self.scope.set_vars.discard(target.id)
+
+    def _shared_mutation_base(self, target: ast.expr) -> str | None:
+        """Name of the captured object a store mutates, or None if
+        the store is local to the current function."""
+        node = target
+        while isinstance(node, (ast.Attribute, ast.Subscript)):
+            node = node.value
+        if isinstance(node, ast.Name):
+            if node is target:
+                return None  # plain local rebinding
+            if node.id in self.scope.locals:
+                return None
+            return node.id
+        return None
+
+    def _check_thread_store(self, target: ast.expr, node: ast.AST) -> None:
+        if not self.scope.is_thread_target or self.scope.lock_depth:
+            return
+        base = self._shared_mutation_base(target)
+        if base is not None:
+            self.report(
+                "HAX003",
+                node,
+                f"thread target mutates shared {base!r} outside a "
+                "lock; use the result queue or take the epoch lock",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._note_set_assignment(node)
+        for target in node.targets:
+            self._check_thread_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and isinstance(
+            node.target, ast.Name
+        ):
+            if _is_set_expr(node.value, self.scope):
+                self.scope.set_vars.add(node.target.id)
+        self._check_thread_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_thread_store(node.target, node)
+        self.generic_visit(node)
+
+    # -- HAX004: set iteration -----------------------------------------
+
+    def _check_set_iteration(
+        self, iter_node: ast.expr, node: ast.AST, what: str
+    ) -> None:
+        if _is_set_expr(iter_node, self.scope):
+            self.report(
+                "HAX004",
+                node,
+                f"{what} iterates a set in hash order; wrap the set "
+                "in sorted() to fix the sequence",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_set_iteration(node.iter, node, "for loop")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for gen in node.generators:
+            self._check_set_iteration(
+                gen.iter, node, "list comprehension"
+            )
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        for gen in node.generators:
+            self._check_set_iteration(
+                gen.iter, node, "dict comprehension"
+            )
+        self.generic_visit(node)
+
+    # -- HAX006: silent excepts ----------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        broad = node.type is None or (
+            isinstance(node.type, ast.Name)
+            and node.type.id in {"Exception", "BaseException"}
+        )
+        silent = all(isinstance(s, ast.Pass) for s in node.body)
+        if broad and silent:
+            self.report(
+                "HAX006",
+                node,
+                "broad except swallows the error silently; handle, "
+                "log, or narrow it",
+            )
+        self.generic_visit(node)
+
+    # -- calls: HAX001/002/005/008 and list(set) -----------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = self.aliases.resolve(node.func)
+        if name is not None:
+            self._check_call_name(name, node)
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "tuple"}
+            and len(node.args) == 1
+        ):
+            self._check_set_iteration(
+                node.args[0], node, f"{node.func.id}() conversion"
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "join"
+            and len(node.args) == 1
+        ):
+            self._check_set_iteration(
+                node.args[0], node, "str.join"
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and node.func.attr not in _QUEUE_OPS
+        ):
+            self._check_thread_store(node.func, node)
+        self.generic_visit(node)
+
+    def _check_call_name(self, name: str, node: ast.Call) -> None:
+        parts = name.split(".")
+        if name in _WALL_CLOCKS:
+            if self.virtual_time:
+                self.report(
+                    "HAX002",
+                    node,
+                    f"{name}() reads the wall clock inside "
+                    "virtual-time code; derive time from the "
+                    "simulator/\"nodes\" clock instead",
+                )
+        elif name == "time.sleep":
+            if self.virtual_time:
+                self.report(
+                    "HAX005",
+                    node,
+                    "time.sleep() blocks the wall clock inside "
+                    "virtual-time code",
+                )
+        elif name in {"random.seed", "numpy.random.seed"}:
+            self.report(
+                "HAX008",
+                node,
+                f"{name}() reseeds the process-global RNG; pass an "
+                "explicit Random/Generator instance instead",
+            )
+        elif len(parts) == 2 and parts[0] == "random":
+            if parts[1] in _RANDOM_DRAWS:
+                self.report(
+                    "HAX001",
+                    node,
+                    f"{name}() draws from the unseeded global RNG; "
+                    "use an explicit random.Random(seed)",
+                )
+            elif parts[1] == "Random" and not (
+                node.args or node.keywords
+            ):
+                self.report(
+                    "HAX001",
+                    node,
+                    "random.Random() without a seed is "
+                    "irreproducible",
+                )
+        elif name.startswith("numpy.random."):
+            tail = parts[-1]
+            if len(parts) == 3 and tail in _NUMPY_LEGACY_DRAWS:
+                self.report(
+                    "HAX001",
+                    node,
+                    f"{name}() draws from numpy's unseeded global "
+                    "RNG; use numpy.random.default_rng(seed)",
+                )
+            elif tail in {"default_rng", "RandomState"} and not (
+                node.args or node.keywords
+            ):
+                self.report(
+                    "HAX001",
+                    node,
+                    f"{name}() without a seed is irreproducible",
+                )
+
+
+def _waivers(source: str) -> dict[int, tuple[set[str], str]]:
+    """line -> (waived rule ids, reason) from haxlint pragmas.
+
+    Tokenized, not regexed over raw lines, so pragma look-alikes
+    inside string literals (like the example in this module's
+    docstring) are not mistaken for waivers.
+    """
+    out: dict[int, tuple[set[str], str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(
+            io.StringIO(source).readline
+        )
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            m = _PRAGMA_RE.search(tok.string)
+            if m:
+                rules = {
+                    r.strip()
+                    for r in m.group(1).split(",")
+                    if r.strip()
+                }
+                out[tok.start[0]] = (rules, m.group(2).strip())
+    except tokenize.TokenError:
+        pass  # ast.parse already vouched for the source
+    return out
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: LintConfig | None = None,
+) -> list[LintFinding]:
+    """Lint one module's source text."""
+    config = config or LintConfig()
+    tree = ast.parse(source, filename=path)
+    aliases = _Aliases()
+    aliases.collect(tree)
+    linter = _Linter(
+        path=Path(path).as_posix(),
+        config=config,
+        aliases=aliases,
+        thread_targets=_collect_thread_targets(tree),
+    )
+    scope = _Scope(locals=_function_locals(tree))
+    linter.scopes.append(scope)
+    for stmt in tree.body:
+        linter.visit(stmt)
+
+    waivers = _waivers(source)
+    kept: list[LintFinding] = []
+    used: set[int] = set()
+    for finding in linter.findings:
+        waiver = waivers.get(finding.line)
+        if waiver and finding.rule in waiver[0]:
+            used.add(finding.line)
+            continue
+        kept.append(finding)
+    if config.flag_stale_waivers:
+        for lineno, (rules, _reason) in sorted(waivers.items()):
+            if lineno not in used:
+                kept.append(
+                    LintFinding(
+                        rule="HAX000",
+                        path=Path(path).as_posix(),
+                        line=lineno,
+                        col=0,
+                        message="waiver for "
+                        + ",".join(sorted(rules))
+                        + " matches no finding on this line; remove "
+                        "the stale pragma",
+                    )
+                )
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for entry in paths:
+        p = Path(entry)
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    config: LintConfig | None = None,
+) -> list[LintFinding]:
+    """Lint every ``*.py`` file under ``paths`` (dirs recurse)."""
+    config = config or LintConfig()
+    findings: list[LintFinding] = []
+    for file in _iter_python_files(paths):
+        findings.extend(
+            lint_source(
+                file.read_text(encoding="utf-8"),
+                path=str(file),
+                config=config,
+            )
+        )
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

@@ -14,6 +14,13 @@ Subcommands
     ``table7``, ``table8``) or one of this reproduction's studies
     (``sensitivity``, ``batching``, ``dsa-design``, ``serving``,
     ``solver-race``).
+``haxconn verify MODEL1 MODEL2 ...`` / ``haxconn verify --random N``
+    Independently re-derive and certify schedules: either the
+    scheduler's answer for a DNN mix, or every solver's output on N
+    seeded random instances.  Exits non-zero on any violation.
+``haxconn lint [PATH ...]``
+    Run the determinism/concurrency lint (HAX001-HAX008) over the
+    given paths (default: the installed ``repro`` package).
 ``haxconn platforms`` / ``haxconn models``
     List the modeled SoCs / the model zoo.
 """
@@ -22,6 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 EXPERIMENTS = {
@@ -164,6 +172,101 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    if args.random is not None:
+        return _verify_random(args)
+    if len(args.models) < 2:
+        print(
+            "error: verify needs at least two models "
+            "(or --random N)",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.analysis.verify import verify_result
+    from repro.core import HaXCoNN, Workload
+    from repro.soc import get_platform
+
+    platform = get_platform(args.platform)
+    workload = Workload.concurrent(*args.models, objective=args.objective)
+    scheduler = HaXCoNN(
+        platform,
+        max_transitions=args.max_transitions,
+        solver=args.solver,
+        solver_workers=args.workers,
+    )
+    result = scheduler.schedule(workload)
+    print(result.schedule.describe())
+    certificate = verify_result(
+        result, max_transitions=scheduler.max_transitions
+    )
+    print(certificate.describe())
+    return 0 if certificate.ok else 1
+
+
+def _verify_random(args: argparse.Namespace) -> int:
+    """Certify every solver's output on seeded random instances."""
+    from repro.analysis.verify import verify_solve
+    from repro.solver import (
+        BranchAndBound,
+        PortfolioSolver,
+        solve_exhaustive,
+    )
+    from repro.solver.random_instances import random_problem
+
+    solvers = {
+        "exhaustive": lambda p: solve_exhaustive(p),
+        "bnb": lambda p: BranchAndBound().solve(p),
+        "portfolio": lambda p: PortfolioSolver(
+            workers=2, backend="serial", clock="nodes", node_budget=20_000
+        ).solve(p),
+    }
+    failures = 0
+    for seed in range(args.random):
+        problem = random_problem(seed)
+        for name, solve in solvers.items():
+            certificate = verify_solve(problem, solve(problem))
+            if not certificate.ok:
+                failures += 1
+                print(f"seed {seed} {name}: {certificate.describe()}")
+    checked = args.random * len(solvers)
+    print(
+        f"verified {checked} solver runs on {args.random} random "
+        f"instances: {failures} violation(s)"
+    )
+    return 0 if failures == 0 else 1
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import LintConfig, RULES, lint_paths
+
+    paths = args.paths
+    if not paths:
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    config = LintConfig()
+    if args.select:
+        selected = tuple(
+            r.strip() for r in args.select.split(",") if r.strip()
+        )
+        unknown = [r for r in selected if r not in RULES]
+        if unknown:
+            print(
+                f"error: unknown rule(s) {', '.join(unknown)}; "
+                f"catalog: {', '.join(RULES)}",
+                file=sys.stderr,
+            )
+            return 2
+        config = LintConfig(select=selected)
+    findings = lint_paths(paths, config)
+    for finding in findings:
+        print(finding.describe())
+    print(
+        f"{len(findings)} finding(s) in {', '.join(str(p) for p in paths)}"
+    )
+    return 0 if not findings else 1
+
+
 def _cmd_platforms(args: argparse.Namespace) -> int:
     from repro.soc import available_platforms, get_platform
 
@@ -266,6 +369,52 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", default=None, help="write a Chrome trace JSON here"
     )
     p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "verify",
+        help="independently certify schedules (Eqs. 1-11)",
+    )
+    p.add_argument(
+        "models",
+        nargs="*",
+        help="zoo model names to co-schedule and certify",
+    )
+    p.add_argument("--platform", default="orin")
+    p.add_argument(
+        "--objective",
+        choices=("latency", "throughput", "energy"),
+        default="latency",
+    )
+    p.add_argument("--max-transitions", type=int, default=2)
+    p.add_argument(
+        "--solver", choices=("bnb", "portfolio"), default="bnb"
+    )
+    p.add_argument("--workers", type=int, default=None)
+    p.add_argument(
+        "--random",
+        type=int,
+        default=None,
+        metavar="N",
+        help="instead: verify every solver on N seeded random "
+        "instances",
+    )
+    p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism/concurrency lint (HAX001-HAX008)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories (default: the repro package)",
+    )
+    p.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("name", help=f"one of {', '.join(sorted(EXPERIMENTS))}")

@@ -29,7 +29,6 @@ from repro.core.formulation import Formulation
 from repro.core.haxconn import (
     HaXCoNN,
     ScheduleResult,
-    enumerate_assignments,
     stream_profiles,
 )
 from repro.core.schedule import DNNSchedule, Schedule

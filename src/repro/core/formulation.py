@@ -313,6 +313,11 @@ class Formulation:
             )
             energy_j = float(((end - start) * power[accel_id]).sum())
         objective = self._objective(per_dnn, serialized, energy_j)
+        # snapshot: self._accel_names is overwritten by the next
+        # evaluate() on this formulation, but the lazy item builder
+        # may run long after (e.g. a serial-fallback result inspected
+        # once the solver has probed other assignments)
+        names = list(self._accel_names)
         return EvaluationResult(
             per_dnn_time=per_dnn,
             objective=objective,
@@ -320,7 +325,9 @@ class Formulation:
             energy_j=energy_j,
             fixed_point_iterations=iterations,
             _item_builder=lambda: tuple(
-                self._item(i, stream, accel_id, start, end, t0, slow, bw)
+                self._item(
+                    i, stream, accel_id, start, end, t0, slow, bw, names
+                )
                 for i in range(n_items)
             ),
         )
@@ -550,6 +557,7 @@ class Formulation:
         t0: np.ndarray,
         slow: np.ndarray,
         bw: np.ndarray,
+        accel_names: Sequence[str],
     ) -> ItemTiming:
         n = int(stream[i])
         before = int((stream[:i] == n).sum())
@@ -558,7 +566,7 @@ class Formulation:
             dnn=n,
             rep=before // groups,
             group=before % groups,
-            accel=self._accel_names[int(accel_id[i])],
+            accel=accel_names[int(accel_id[i])],
             start=float(start[i]),
             end=float(end[i]),
             standalone_s=float(t0[i]),

@@ -19,7 +19,6 @@ from repro.contention.base import ContentionModel
 from repro.core.formulation import (
     EvaluationResult,
     Formulation,
-    ScheduleInfeasible,
 )
 from repro.core.schedule import DNNSchedule, Schedule
 from repro.core.workload import Workload
@@ -142,6 +141,7 @@ class HaXCoNN:
         solver_seed: int = 0,
         solver_backend: str = "auto",
         solver_clock: str = "wall",
+        verify: bool = False,
     ) -> None:
         self.platform = (
             get_platform(platform) if isinstance(platform, str) else platform
@@ -164,6 +164,7 @@ class HaXCoNN:
                 f"got {solver!r}"
             )
         self.solver = solver
+        self.verify = verify
         self.solver_workers = solver_workers
         self.solver_seed = solver_seed
         self.solver_backend = solver_backend
@@ -522,6 +523,7 @@ class HaXCoNN:
         ] = (),
         serial_fallback: bool = True,
         scheduler_name: str = "haxconn",
+        verify: bool | None = None,
     ) -> ScheduleResult:
         """Find the optimal schedule for ``workload``.
 
@@ -535,6 +537,12 @@ class HaXCoNN:
         worse than that baseline *under the cost model* -- the
         Herald/H2H reimplementations disable this, as those
         schedulers always co-locate.
+
+        ``verify`` (default: the constructor's ``verify`` flag) runs
+        the returned schedule through the independent certificate
+        checker (:mod:`repro.analysis.verify`) and raises
+        :class:`repro.analysis.CertificateError` if any Eq. 1-11
+        constraint or the claimed objective fails to re-derive.
         """
         formulation, _profiles = self.build_formulation(workload)
         problem = self.build_problem(workload, formulation)
@@ -626,11 +634,14 @@ class HaXCoNN:
                         "nodes": result.nodes_explored,
                     },
                 )
-                return ScheduleResult(
-                    schedule=schedule,
-                    predicted=predicted,
-                    solver=result,
-                    formulation=formulation,
+                return self._maybe_verify(
+                    ScheduleResult(
+                        schedule=schedule,
+                        predicted=predicted,
+                        solver=result,
+                        formulation=formulation,
+                    ),
+                    verify,
                 )
 
         if serial_schedule is None or serial_predicted is None:
@@ -638,9 +649,29 @@ class HaXCoNN:
                 f"no feasible concurrent schedule for {workload.names} "
                 "and serial fallback disabled"
             )
-        return ScheduleResult(
-            schedule=serial_schedule,
-            predicted=serial_predicted,
-            solver=result,
-            formulation=formulation,
+        return self._maybe_verify(
+            ScheduleResult(
+                schedule=serial_schedule,
+                predicted=serial_predicted,
+                solver=result,
+                formulation=formulation,
+            ),
+            verify,
         )
+
+    def _maybe_verify(
+        self, result: ScheduleResult, verify: bool | None
+    ) -> ScheduleResult:
+        if self.verify if verify is None else verify:
+            # deferred import: repro.analysis depends on this module's
+            # package at runtime (schedule_cache signatures)
+            from repro.analysis.diagnostics import require
+            from repro.analysis.verify import verify_result
+
+            require(
+                verify_result(
+                    result, max_transitions=self.max_transitions
+                ),
+                "HaXCoNN.schedule",
+            )
+        return result

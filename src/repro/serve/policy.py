@@ -22,7 +22,7 @@ simulator.  Measured numbers come from the server executing rounds.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.core.baselines import gpu_only, naive_concurrent
@@ -182,6 +182,7 @@ class CachedAnytimePolicy(ServingPolicy):
         cache: ScheduleCache | None = None,
         update_points: Sequence[float] = DEFAULT_UPDATE_POINTS,
         max_queue_depth: int | None = None,
+        verify_admission: bool = True,
     ) -> None:
         super().__init__(max_queue_depth=max_queue_depth)
         if cache is not None and cache.scheduler is not scheduler:
@@ -191,9 +192,11 @@ class CachedAnytimePolicy(ServingPolicy):
         self.scheduler = scheduler
         self.cache = cache if cache is not None else ScheduleCache(scheduler)
         self.update_points = tuple(sorted(update_points))
+        self.verify_admission = verify_admission
         self._phases: dict[str, _AnytimePhase] = {}
         self.solves = 0
         self.swaps = 0
+        self.verify_failures = 0
 
     # ------------------------------------------------------------------
     def _best_naive(
@@ -313,10 +316,29 @@ class CachedAnytimePolicy(ServingPolicy):
         result, converged, swaps = phase.active(elapsed_s)
         self.swaps += swaps
         if converged:
-            # future occurrences of this mix are pure cache toggles
-            self.cache.put(workload, result.schedule)
+            if self._admit(workload, result):
+                # future occurrences of this mix are cache toggles
+                self.cache.put(workload, result.schedule)
             del self._phases[key]
         return result
+
+    def _admit(self, workload: Workload, result: ScheduleResult) -> bool:
+        """Cache-admission audit: a schedule is published to the
+        shared cache only if the independent certificate checker
+        re-derives it clean.  A bad schedule is still *served* (it is
+        the best this phase produced) but never cached, so one cost-
+        model bug cannot poison every future occurrence of the mix."""
+        if not self.verify_admission:
+            return True
+        from repro.analysis.verify import verify_cache_entry
+
+        certificate = verify_cache_entry(
+            self.scheduler, workload, result.schedule
+        )
+        if not certificate.ok:
+            self.verify_failures += 1
+            return False
+        return True
 
     def stats(self) -> dict[str, object]:
         return {
@@ -325,4 +347,5 @@ class CachedAnytimePolicy(ServingPolicy):
             "swaps": self.swaps,
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
+            "verify_failures": self.verify_failures,
         }

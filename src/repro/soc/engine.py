@@ -27,7 +27,6 @@ Execution model
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
@@ -190,7 +189,11 @@ class Engine:
             )
 
         if queues is None:
-            order: dict[str, list[str]] = {a: [] for a in accel_names}
+            # sorted: set iteration order would leak PYTHONHASHSEED
+            # into per-accelerator FCFS queue construction
+            order: dict[str, list[str]] = {
+                a: [] for a in sorted(accel_names)
+            }
             for t in tasks:
                 order[t.accel].append(t.task_id)
         else:

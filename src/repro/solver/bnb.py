@@ -131,14 +131,18 @@ class BranchAndBound:
         problem: Problem,
         *,
         initial: Assignment | None = None,
+        verify: bool = False,
     ) -> SolveResult:
         """Minimize ``problem``; optionally seed with a known solution.
 
         The seed (D-HaX-CoNN's "initial best naive schedule") is
         evaluated first so pruning starts immediately and the solver
-        can never return anything worse.
+        can never return anything worse.  ``verify=True`` audits the
+        result (best answer, every incumbent, monotonicity) through
+        the independent certificate checker and raises
+        :class:`repro.analysis.CertificateError` on any violation.
         """
-        start = time.perf_counter()
+        start = time.perf_counter()  # haxlint: allow[HAX002] wall budget
         state = _SearchState(problem, self, start)
         if initial is not None:
             try:
@@ -151,13 +155,20 @@ class BranchAndBound:
             exhausted = state.dfs({}, 0)
         except StopSearch:
             exhausted = False
-        return SolveResult(
+        result = SolveResult(
             best=state.best,
             optimal=exhausted,
             nodes_explored=state.nodes,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=time.perf_counter() - start,  # haxlint: allow[HAX002] reported wall time
             incumbents=state.incumbents,
         )
+        if verify:
+            # deferred: repro.analysis imports the solver package
+            from repro.analysis.diagnostics import require
+            from repro.analysis.verify import verify_solve
+
+            require(verify_solve(problem, result), "BranchAndBound.solve")
+        return result
 
 
 class _SearchState:
@@ -187,7 +198,7 @@ class _SearchState:
         inc = Incumbent(
             assignment=assignment,
             objective=objective,
-            wall_time_s=time.perf_counter() - self.start,
+            wall_time_s=time.perf_counter() - self.start,  # haxlint: allow[HAX002] reported wall time
             nodes_explored=self.nodes,
         )
         self.best = inc
@@ -201,11 +212,10 @@ class _SearchState:
             and self.nodes >= self.cfg.node_budget
         ):
             return True
-        if (
-            self.cfg.time_budget_s is not None
-            and time.perf_counter() - self.start >= self.cfg.time_budget_s
-        ):
-            return True
+        if self.cfg.time_budget_s is not None:
+            now = time.perf_counter()  # haxlint: allow[HAX002] wall budget
+            if now - self.start >= self.cfg.time_budget_s:
+                return True
         return False
 
     def maybe_sync(self) -> None:

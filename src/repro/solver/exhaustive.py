@@ -7,14 +7,20 @@ optima, and by small scheduling instances where enumeration is cheap.
 from __future__ import annotations
 
 import itertools
-from typing import Any
 
 from repro.solver.bnb import Incumbent, SolveResult
 from repro.solver.problem import Infeasible, Problem
 
 
-def solve_exhaustive(problem: Problem) -> SolveResult:
-    """Evaluate every assignment; return the certified optimum."""
+def solve_exhaustive(
+    problem: Problem, *, verify: bool = False
+) -> SolveResult:
+    """Evaluate every assignment; return the certified optimum.
+
+    ``verify=True`` re-checks the returned optimum through the
+    independent certificate checker (:mod:`repro.analysis.verify`)
+    and raises :class:`repro.analysis.CertificateError` on mismatch.
+    """
     best: Incumbent | None = None
     nodes = 0
     names = [v.name for v in problem.variables]
@@ -34,10 +40,17 @@ def solve_exhaustive(problem: Problem) -> SolveResult:
                 wall_time_s=0.0,
                 nodes_explored=nodes,
             )
-    return SolveResult(
+    result = SolveResult(
         best=best,
         optimal=True,
         nodes_explored=nodes,
         wall_time_s=0.0,
         incumbents=[best] if best else [],
     )
+    if verify:
+        # deferred: repro.analysis imports the solver package
+        from repro.analysis.diagnostics import require
+        from repro.analysis.verify import verify_solve
+
+        require(verify_solve(problem, result), "solve_exhaustive")
+    return result

@@ -45,8 +45,8 @@ import queue
 import random
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
 from repro.solver.bnb import (
     BranchAndBound,
@@ -113,14 +113,16 @@ def default_strategies(
     return tuple(out)
 
 
-def _child_order(strategy: Strategy):
+def _child_order(
+    strategy: Strategy,
+) -> Callable[[Sequence[Any]], list[Any]] | None:
     """Value-ordering callable for :class:`BranchAndBound`."""
     if strategy.values == "domain":
         return lambda children: list(children)
     if strategy.values == "shuffle":
         rng = random.Random(strategy.seed)
 
-        def order(children):
+        def order(children: Sequence[Any]) -> list[Any]:
             shuffled = list(children)
             rng.shuffle(shuffled)
             shuffled.sort(key=lambda c: c[0])  # stable: shuffled ties
@@ -151,8 +153,8 @@ def _run_worker(
     initial: dict[str, Any] | None,
     sync_every: int,
     node_budget: int | None,
-    inbox,
-    outbox,
+    inbox: Any,
+    outbox: Any,
     wid: int,
 ) -> None:
     """Worker loop: search, report at sync points, obey stop/bound."""
@@ -322,6 +324,7 @@ class PortfolioSolver:
         initial: Assignment | None = None,
         seeds: Sequence[Assignment | tuple[str, Assignment]] = (),
         reduced: Problem | None = None,
+        verify: bool = False,
     ) -> PortfolioResult:
         """Minimize ``problem``, racing the configured strategies.
 
@@ -330,8 +333,31 @@ class PortfolioSolver:
         seeds are skipped.  ``reduced`` optionally supplies a
         domain-reduced variant of the same problem for hunter
         strategies (see :func:`repro.core.haxconn.dominance_filter`).
+        ``verify=True`` audits the merged result -- every incumbent,
+        strict improvement, monotone progress counters -- through the
+        independent certificate checker and raises
+        :class:`repro.analysis.CertificateError` on any violation.
         """
-        start = time.perf_counter()
+        result = self._solve_impl(
+            problem, initial=initial, seeds=seeds, reduced=reduced
+        )
+        if verify:
+            # deferred: repro.analysis imports the solver package
+            from repro.analysis.diagnostics import require
+            from repro.analysis.verify import verify_solve
+
+            require(verify_solve(problem, result), "PortfolioSolver.solve")
+        return result
+
+    def _solve_impl(
+        self,
+        problem: Problem,
+        *,
+        initial: Assignment | None = None,
+        seeds: Sequence[Assignment | tuple[str, Assignment]] = (),
+        reduced: Problem | None = None,
+    ) -> PortfolioResult:
+        start = time.perf_counter()  # haxlint: allow[HAX002] wall budget
         merged: list[Incumbent] = []
         best: Incumbent | None = None
         root_nodes = 0
@@ -344,7 +370,7 @@ class PortfolioSolver:
         def timestamp() -> float:
             if self.clock == "nodes":
                 return virtual_nodes() / self.node_rate
-            return time.perf_counter() - start
+            return time.perf_counter() - start  # haxlint: allow[HAX002] wall budget
 
         def record(assignment: Mapping[str, Any], objective: float) -> bool:
             nonlocal best, last_ts
@@ -479,7 +505,7 @@ class PortfolioSolver:
         certified = False
         error: tuple[int, str] | None = None
 
-        def consume(msg) -> int | None:
+        def consume(msg: tuple[Any, ...]) -> int | None:
             """Merge one worker message; return wid when it finished."""
             nonlocal certified, error
             kind, wid = msg[0], msg[1]
@@ -514,9 +540,10 @@ class PortfolioSolver:
                         finished.append(done_wid)
                 for wid in finished:
                     alive.discard(wid)
+                now = time.perf_counter()  # haxlint: allow[HAX002] wall budget
                 over_time = (
                     self.time_budget_s is not None
-                    and time.perf_counter() - start >= self.time_budget_s
+                    and now - start >= self.time_budget_s
                 )
                 stop = certified or error is not None or over_time
                 for wid in sorted(alive):
@@ -551,7 +578,7 @@ class PortfolioSolver:
             best=best,
             optimal=certified,
             nodes_explored=virtual_nodes(),
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=time.perf_counter() - start,  # haxlint: allow[HAX002] reported wall time
             incumbents=merged,
             workers=tuple(stats[w] for w in sorted(stats)),
             backend=backend,
@@ -567,7 +594,7 @@ class PortfolioSolver:
         start: float,
         merged: list[Incumbent],
         best: Incumbent | None,
-        record,
+        record: Callable[[Mapping[str, Any], float], bool],
         root_nodes: int,
         worker_nodes: dict[int, int],
         warm_log: list[tuple[str, float | None]],
@@ -575,7 +602,9 @@ class PortfolioSolver:
         remaining = None
         if self.time_budget_s is not None:
             remaining = max(
-                1e-6, self.time_budget_s - (time.perf_counter() - start)
+                1e-6,
+                self.time_budget_s
+                - (time.perf_counter() - start)  # haxlint: allow[HAX002] wall budget
             )
 
         def on_incumbent(inc: Incumbent) -> None:
@@ -596,7 +625,7 @@ class PortfolioSolver:
             best=merged[-1] if merged else None,
             optimal=result.optimal,
             nodes_explored=root_nodes + result.nodes_explored,
-            wall_time_s=time.perf_counter() - start,
+            wall_time_s=time.perf_counter() - start,  # haxlint: allow[HAX002] reported wall time
             incumbents=merged,
             workers=(
                 WorkerStats(
@@ -616,7 +645,7 @@ def _greedy_improvements(
     assignment: Mapping[str, Any],
     objective: float,
     sweeps: int,
-):
+) -> Iterator[tuple[dict[str, Any], float, int]]:
     """Best-response sweeps from a warm start, yielding improvements.
 
     Deterministic: variables in declaration order, values in domain

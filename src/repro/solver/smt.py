@@ -56,7 +56,9 @@ class Optimizer:
         *,
         time_budget_s: float | None = None,
         node_budget: int | None = None,
+        verify: bool = False,
     ) -> None:
+        self._verify = verify
         self._variables: list[Variable] = []
         self._constraints: list[Callable[[Assignment], bool]] = []
         self._objective: Callable[[Assignment], float] | None = None
@@ -129,7 +131,7 @@ class Optimizer:
             lower_bound=self._lower_bound,
         )
         try:
-            self._last = self._solver.solve(problem)
+            self._last = self._solver.solve(problem, verify=self._verify)
         except Infeasible as exc:
             # user-supplied hooks may signal infeasibility by raising;
             # the documented contract is the Unsatisfiable subclass

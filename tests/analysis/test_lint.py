@@ -1,0 +1,300 @@
+"""The determinism/concurrency lint: every rule fires, waivers work,
+and -- the acceptance gate -- the shipped package is clean."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import (
+    LintConfig,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+
+SOLVER_PATH = "src/repro/solver/module.py"  # inside virtual-time globs
+DRIVER_PATH = "src/repro/experiments/module.py"  # outside
+
+
+def rules_of(findings):
+    return sorted(f.rule for f in findings)
+
+
+class TestRuleCatalog:
+    def test_catalog_has_stable_ids(self):
+        assert set(RULES) == {
+            "HAX000",
+            "HAX001",
+            "HAX002",
+            "HAX003",
+            "HAX004",
+            "HAX005",
+            "HAX006",
+            "HAX007",
+            "HAX008",
+        }
+
+    def test_default_select_skips_meta_rule(self):
+        assert "HAX000" not in LintConfig().select
+
+    def test_select_filters(self):
+        source = "import random\nx = random.random()\nrandom.seed(0)\n"
+        only = lint_source(
+            source, SOLVER_PATH, LintConfig(select=("HAX008",))
+        )
+        assert rules_of(only) == ["HAX008"]
+
+
+class TestHAX001UnseededRandom:
+    def test_global_draw(self):
+        findings = lint_source(
+            "import random\nx = random.random()\n", SOLVER_PATH
+        )
+        assert rules_of(findings) == ["HAX001"]
+
+    def test_unseeded_instance(self):
+        findings = lint_source(
+            "import random\nr = random.Random()\n", SOLVER_PATH
+        )
+        assert rules_of(findings) == ["HAX001"]
+
+    def test_seeded_instance_clean(self):
+        findings = lint_source(
+            "import random\nr = random.Random(7)\n", SOLVER_PATH
+        )
+        assert findings == []
+
+    def test_numpy_legacy_draw_via_alias(self):
+        findings = lint_source(
+            "import numpy as np\nx = np.random.rand(3)\n",
+            SOLVER_PATH,
+        )
+        assert rules_of(findings) == ["HAX001"]
+
+    def test_numpy_default_rng_needs_seed(self):
+        source = (
+            "import numpy as np\n"
+            "bad = np.random.default_rng()\n"
+            "good = np.random.default_rng(7)\n"
+        )
+        findings = lint_source(source, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX001"]
+        assert findings[0].line == 2
+
+
+class TestHAX002WallClock:
+    SOURCE = "import time\nt = time.perf_counter()\n"
+
+    def test_flags_virtual_time_code(self):
+        findings = lint_source(self.SOURCE, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX002"]
+
+    def test_wall_clock_fine_in_drivers(self):
+        assert lint_source(self.SOURCE, DRIVER_PATH) == []
+
+    def test_alias_resolution(self):
+        source = (
+            "from time import perf_counter as clock\n"
+            "t = clock()\n"
+        )
+        findings = lint_source(source, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX002"]
+
+
+class TestHAX003ThreadSharedMutation:
+    def test_unlocked_mutation(self):
+        source = (
+            "import threading\n"
+            "results = []\n"
+            "def worker():\n"
+            "    results.append(1)\n"
+            "t = threading.Thread(target=worker)\n"
+        )
+        findings = lint_source(source, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX003"]
+
+    def test_lock_sanctions_mutation(self):
+        source = (
+            "import threading\n"
+            "results = []\n"
+            "lock = threading.Lock()\n"
+            "def worker():\n"
+            "    with lock:\n"
+            "        results.append(1)\n"
+            "t = threading.Thread(target=worker)\n"
+        )
+        assert lint_source(source, SOLVER_PATH) == []
+
+    def test_queue_is_sanctioned_channel(self):
+        source = (
+            "import queue, threading\n"
+            "outbox = queue.Queue()\n"
+            "def worker():\n"
+            "    outbox.put(1)\n"
+            "t = threading.Thread(target=worker)\n"
+        )
+        assert lint_source(source, SOLVER_PATH) == []
+
+    def test_executor_submit_target(self):
+        source = (
+            "seen = {}\n"
+            "def job(k):\n"
+            "    seen[k] = True\n"
+            "def run(pool):\n"
+            "    pool.submit(job, 1)\n"
+        )
+        findings = lint_source(source, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX003"]
+
+    def test_local_mutation_is_fine(self):
+        source = (
+            "import threading\n"
+            "def worker():\n"
+            "    local = []\n"
+            "    local.append(1)\n"
+            "t = threading.Thread(target=worker)\n"
+        )
+        assert lint_source(source, SOLVER_PATH) == []
+
+
+class TestHAX004SetIteration:
+    def test_for_loop_over_set_literal(self):
+        findings = lint_source(
+            "for x in {1, 2}:\n    print(x)\n", DRIVER_PATH
+        )
+        assert rules_of(findings) == ["HAX004"]
+
+    def test_sorted_set_clean(self):
+        findings = lint_source(
+            "for x in sorted({1, 2}):\n    print(x)\n", DRIVER_PATH
+        )
+        assert findings == []
+
+    def test_list_conversion_of_tracked_set_var(self):
+        source = "names = set(data)\nout = list(names)\n"
+        findings = lint_source(source, DRIVER_PATH)
+        assert rules_of(findings) == ["HAX004"]
+
+    def test_set_algebra_tracked(self):
+        source = (
+            "a = {1}\n"
+            "b = {2}\n"
+            "out = [x for x in a | b]\n"
+        )
+        findings = lint_source(source, DRIVER_PATH)
+        assert rules_of(findings) == ["HAX004"]
+
+    def test_reassignment_clears_tracking(self):
+        source = (
+            "names = set(data)\n"
+            "names = sorted(names)\n"
+            "out = list(names)\n"
+        )
+        assert lint_source(source, DRIVER_PATH) == []
+
+
+class TestHAX005Sleep:
+    def test_sleep_in_virtual_time_code(self):
+        findings = lint_source(
+            "import time\ntime.sleep(0.1)\n", SOLVER_PATH
+        )
+        assert rules_of(findings) == ["HAX005"]
+
+    def test_sleep_fine_in_drivers(self):
+        assert (
+            lint_source("import time\ntime.sleep(0.1)\n", DRIVER_PATH)
+            == []
+        )
+
+
+class TestHAX006SilentExcept:
+    def test_bare_except_pass(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        findings = lint_source(source, DRIVER_PATH)
+        assert rules_of(findings) == ["HAX006"]
+
+    def test_narrow_except_clean(self):
+        source = "try:\n    f()\nexcept ValueError:\n    pass\n"
+        assert lint_source(source, DRIVER_PATH) == []
+
+    def test_handled_broad_except_clean(self):
+        source = "try:\n    f()\nexcept Exception:\n    log()\n"
+        assert lint_source(source, DRIVER_PATH) == []
+
+
+class TestHAX007MutableDefault:
+    def test_list_default(self):
+        findings = lint_source(
+            "def f(x=[]):\n    return x\n", DRIVER_PATH
+        )
+        assert rules_of(findings) == ["HAX007"]
+
+    def test_none_default_clean(self):
+        assert (
+            lint_source("def f(x=None):\n    return x\n", DRIVER_PATH)
+            == []
+        )
+
+
+class TestHAX008GlobalSeeding:
+    def test_random_seed(self):
+        findings = lint_source(
+            "import random\nrandom.seed(0)\n", DRIVER_PATH
+        )
+        assert rules_of(findings) == ["HAX008"]
+
+    def test_numpy_seed(self):
+        findings = lint_source(
+            "import numpy as np\nnp.random.seed(0)\n", DRIVER_PATH
+        )
+        assert rules_of(findings) == ["HAX008"]
+
+
+class TestWaivers:
+    def test_waiver_silences_finding(self):
+        source = (
+            "import time\n"
+            "t = time.perf_counter()"
+            "  # haxlint: allow[HAX002] wall budget API\n"
+        )
+        assert lint_source(source, SOLVER_PATH) == []
+
+    def test_waiver_is_per_rule(self):
+        source = (
+            "import time\n"
+            "t = time.perf_counter()"
+            "  # haxlint: allow[HAX005] wrong rule\n"
+        )
+        findings = lint_source(source, SOLVER_PATH)
+        # the HAX002 finding survives and the pragma is now stale
+        assert rules_of(findings) == ["HAX000", "HAX002"]
+
+    def test_stale_waiver_reported(self):
+        source = "x = 1  # haxlint: allow[HAX002] nothing here\n"
+        findings = lint_source(source, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX000"]
+
+    def test_stale_waivers_can_be_disabled(self):
+        source = "x = 1  # haxlint: allow[HAX002] nothing here\n"
+        config = LintConfig(flag_stale_waivers=False)
+        assert lint_source(source, SOLVER_PATH, config) == []
+
+    def test_pragma_in_string_is_not_a_waiver(self):
+        source = (
+            "import time\n"
+            'doc = "# haxlint: allow[HAX002] example"\n'
+            "t = time.perf_counter()\n"
+        )
+        findings = lint_source(source, SOLVER_PATH)
+        assert rules_of(findings) == ["HAX002"]
+
+
+class TestRepoClean:
+    def test_shipped_package_is_lint_clean(self):
+        """The acceptance gate: zero findings over src/repro."""
+        package_root = Path(repro.__file__).parent
+        findings = lint_paths([package_root])
+        assert findings == [], "\n".join(
+            f.describe() for f in findings
+        )

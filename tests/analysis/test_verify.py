@@ -1,0 +1,372 @@
+"""Adversarial certificates: every forged claim has a named core.
+
+Each test hand-builds a schedule (or a timed per-item certificate)
+with exactly one planted lie -- an undercharged DSA transition, an
+overlapping exclusivity window, a non-contiguous segmentation, a stale
+cache signature -- and asserts the verifier's minimal failing core is
+the matching :class:`ViolationKind`, not a cascade of secondary noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    CertificateError,
+    ViolationKind,
+    require,
+)
+from repro.analysis.verify import (
+    rederive,
+    verify_assignment,
+    verify_cache_entry,
+    verify_items,
+    verify_schedule,
+    verify_solve,
+)
+from repro.contention.base import NoContentionModel
+from repro.core.formulation import ItemTiming
+from repro.core.haxconn import HaXCoNN
+from repro.core.schedule import DNNSchedule, Schedule
+from repro.core.workload import Workload
+from repro.solver import BranchAndBound
+from repro.solver.random_instances import random_problem
+
+
+def items_of(der):
+    """Convert the verifier's re-derivation into claimed ItemTimings."""
+    return tuple(
+        ItemTiming(
+            dnn=i.dnn,
+            rep=i.rep,
+            group=i.group,
+            accel=i.accel,
+            start=i.start,
+            end=i.end,
+            standalone_s=i.t0,
+            slowdown=i.slowdown,
+            req_bw=i.bw,
+        )
+        for i in der.items
+    )
+
+
+@pytest.fixture(scope="module")
+def scheduler(xavier, xavier_db):
+    return HaXCoNN(
+        xavier, db=xavier_db, max_groups=3, max_transitions=1
+    )
+
+
+class TestTransitionCharge:
+    """Eq. 3: a DSA switch charged less than flush+load."""
+
+    def test_undercharged_transition_core(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        formulation, _ = scheduler.build_formulation(workload)
+        assignment = ("dla", "dla", "gpu")
+        schedule = Schedule(
+            per_dnn=(DNNSchedule("resnet18", assignment),)
+        )
+        items = items_of(rederive(formulation, [assignment]))
+        assert verify_items(formulation, schedule, items).ok
+
+        required = formulation.profiles[0].transition(1, "dla", "gpu")
+        assert required > 0
+        idx = next(k for k, it in enumerate(items) if it.group == 2)
+        prev_end = max(it.end for it in items if it.group == 1)
+        duration = items[idx].end - items[idx].start
+        start = prev_end + 0.25 * required  # gap < flush+load cost
+        forged = list(items)
+        forged[idx] = replace(
+            forged[idx], start=start, end=start + duration
+        )
+
+        cert = verify_items(formulation, schedule, forged)
+        assert not cert.ok
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.TRANSITION
+        }
+        (violation,) = cert.core()
+        assert violation.equation == "Eq. 3"
+        assert violation.expected == pytest.approx(required)
+
+    def test_require_raises_with_core(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        formulation, _ = scheduler.build_formulation(workload)
+        schedule = Schedule(
+            per_dnn=(
+                DNNSchedule("resnet18", ("gpu", "dla", "gpu")),
+            )
+        )
+        cert = verify_schedule(
+            formulation, schedule, max_transitions=1
+        )
+        with pytest.raises(CertificateError) as err:
+            require(cert, "test")
+        assert "contiguity" in str(err.value)
+
+
+class TestOverlapWindow:
+    """Eq. 9: cross-stream co-residency on one DSA beyond epsilon."""
+
+    def test_overlapping_window_core(self, xavier, xavier_db):
+        scheduler = HaXCoNN(
+            xavier,
+            db=xavier_db,
+            max_groups=3,
+            max_transitions=1,
+            contention_model=NoContentionModel(),
+        )
+        workload = Workload.concurrent("alexnet", "googlenet")
+        formulation, _ = scheduler.build_formulation(workload)
+        assignments = [
+            tuple("gpu" for _ in p.groups)
+            for p in formulation.profiles
+        ]
+        schedule = Schedule(
+            per_dnn=tuple(
+                DNNSchedule(name, a)
+                for name, a in zip(workload.names, assignments)
+            )
+        )
+        # both chains claim to start at t=0 on the same DSA: the
+        # streams fully co-reside instead of interleaving under FCFS
+        forged = []
+        for n, profile in enumerate(formulation.profiles):
+            t = 0.0
+            for g, group in enumerate(profile.groups):
+                t0 = group.time_s["gpu"]
+                forged.append(
+                    ItemTiming(
+                        dnn=n,
+                        rep=0,
+                        group=g,
+                        accel="gpu",
+                        start=t,
+                        end=t + t0,
+                        standalone_s=t0,
+                        slowdown=1.0,
+                        req_bw=group.req_bw["gpu"],
+                    )
+                )
+                t += t0
+
+        cert = verify_items(formulation, schedule, forged)
+        assert not cert.ok
+        assert {v.kind for v in cert.core()} == {ViolationKind.OVERLAP}
+        assert all(v.equation == "Eq. 9" for v in cert.core())
+
+
+class TestContentionWindow:
+    """Eqs. 7-8: overlap across DSAs with slowdowns claimed away."""
+
+    def test_stale_slowdown_core(self, scheduler):
+        workload = Workload.concurrent("alexnet", "resnet18")
+        formulation, _ = scheduler.build_formulation(workload)
+        a0 = ("gpu", "gpu", "gpu")
+        a1 = ("dla", "dla", "gpu")
+        schedule = Schedule(
+            per_dnn=(
+                DNNSchedule("alexnet", a0),
+                DNNSchedule("resnet18", a1),
+            )
+        )
+        # gpu and dla chains overlap in time (legal under Eq. 9 --
+        # different DSAs), so memory contention must slow both down;
+        # the certificate claims slowdown 1.0 everywhere.
+        forged = []
+        t = 0.0
+        for g, group in enumerate(formulation.profiles[0].groups):
+            t0 = group.time_s["gpu"]
+            forged.append(
+                ItemTiming(
+                    0, 0, g, "gpu", t, t + t0, t0, 1.0,
+                    group.req_bw["gpu"],
+                )
+            )
+            t += t0
+        gpu_done = t
+        t = 0.0
+        for g, group in enumerate(formulation.profiles[1].groups):
+            accel = a1[g]
+            if g and accel != a1[g - 1]:
+                required = formulation.profiles[1].transition(
+                    g - 1, a1[g - 1], accel
+                )
+                # pay the transition and dodge the Eq. 9 window so
+                # the only lie left is the missing slowdown
+                t = max(t + required, gpu_done)
+            t0 = group.time_s[accel]
+            forged.append(
+                ItemTiming(
+                    1, 0, g, accel, t, t + t0, t0, 1.0,
+                    group.req_bw[accel],
+                )
+            )
+            t += t0
+
+        cert = verify_items(formulation, schedule, forged)
+        assert not cert.ok
+        assert cert.kinds() == frozenset({ViolationKind.CONTENTION})
+        assert all(v.equation == "Eqs. 7-8" for v in cert.core())
+
+
+class TestContiguity:
+    """Eq. 1: layer groups must form contiguous per-DSA segments."""
+
+    def test_non_contiguous_group_core(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        formulation, _ = scheduler.build_formulation(workload)
+        schedule = Schedule(
+            per_dnn=(
+                DNNSchedule("resnet18", ("gpu", "dla", "gpu")),
+            )
+        )
+        cert = verify_schedule(
+            formulation, schedule, max_transitions=1
+        )
+        assert not cert.ok
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.CONTIGUITY
+        }
+        (violation,) = cert.core()
+        assert violation.actual == 2  # transitions used
+        assert violation.expected == 1  # transition budget
+
+
+class TestCacheSignature:
+    """Stale or mismatched entries must fail admission."""
+
+    def test_stale_signature_core(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        result = scheduler.schedule(workload)
+        cert = verify_cache_entry(
+            scheduler,
+            workload,
+            result.schedule,
+            stored_signature="stale-signature",
+        )
+        assert not cert.ok
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.SIGNATURE
+        }
+
+    def test_wrong_stream_name_core(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        result = scheduler.schedule(workload)
+        renamed = Schedule(
+            per_dnn=tuple(
+                replace(s, dnn_name="alexnet")
+                for s in result.schedule.per_dnn
+            ),
+            serialized=result.schedule.serialized,
+        )
+        cert = verify_cache_entry(scheduler, workload, renamed)
+        assert not cert.ok
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.SIGNATURE
+        }
+
+    def test_clean_entry_admits(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        result = scheduler.schedule(workload)
+        assert verify_cache_entry(
+            scheduler, workload, result.schedule
+        ).ok
+
+
+class TestItemForgeries:
+    """The remaining per-item claims each have their own core."""
+
+    @pytest.fixture()
+    def clean(self, scheduler):
+        workload = Workload.concurrent("resnet18")
+        formulation, _ = scheduler.build_formulation(workload)
+        assignment = ("dla", "dla", "gpu")
+        schedule = Schedule(
+            per_dnn=(DNNSchedule("resnet18", assignment),)
+        )
+        items = items_of(rederive(formulation, [assignment]))
+        assert verify_items(formulation, schedule, items).ok
+        return formulation, schedule, list(items)
+
+    def test_wrong_accelerator_core(self, clean):
+        formulation, schedule, items = clean
+        items[0] = replace(items[0], accel="gpu")
+        cert = verify_items(formulation, schedule, items)
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.ASSIGNMENT
+        }
+
+    def test_wrong_standalone_latency_core(self, clean):
+        formulation, schedule, items = clean
+        # keep duration == standalone * slowdown so only Eq. 2 trips
+        wrong = items[0].standalone_s * 2.0
+        items[0] = replace(
+            items[0],
+            standalone_s=wrong,
+            end=items[0].start + wrong * items[0].slowdown,
+        )
+        cert = verify_items(formulation, schedule, items)
+        assert ViolationKind.LATENCY in {v.kind for v in cert.core()}
+
+    def test_out_of_order_start_core(self, clean):
+        formulation, schedule, items = clean
+        items[1] = replace(
+            items[1],
+            start=items[0].start,
+            end=items[0].start + (items[1].end - items[1].start),
+        )
+        cert = verify_items(formulation, schedule, items)
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.ORDERING
+        }
+
+    def test_missing_item_core(self, clean):
+        formulation, schedule, items = clean
+        cert = verify_items(formulation, schedule, items[:-1])
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.ASSIGNMENT
+        }
+
+
+class TestSolverForgeries:
+    """Generic Problem certificates: objective and incumbent lies."""
+
+    def test_wrong_claimed_objective(self):
+        problem = random_problem(0)
+        result = BranchAndBound().solve(problem)
+        assert result.best is not None
+        cert = verify_assignment(
+            problem,
+            result.best.assignment,
+            result.best.objective + 1.0,
+        )
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.OBJECTIVE
+        }
+
+    def test_non_improving_incumbents(self):
+        problem = random_problem(0)
+        result = BranchAndBound().solve(problem)
+        assert result.best is not None
+        doctored = replace(
+            result, incumbents=result.incumbents + result.incumbents
+        )
+        cert = verify_solve(problem, doctored)
+        assert not cert.ok
+        assert ViolationKind.ORDERING in cert.kinds()
+
+    def test_out_of_domain_assignment(self):
+        problem = random_problem(0)
+        name = problem.variables[0].name
+        cert = verify_assignment(
+            problem, {name: object()}, claimed_objective=None
+        )
+        assert not cert.ok
+        assert {v.kind for v in cert.core()} == {
+            ViolationKind.ASSIGNMENT
+        }

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.perf.model import UnsupportedLayerError
 from repro.profiling.profiler import concat_profiles, profile_dnn
 
 

@@ -8,7 +8,6 @@ from repro.core.workload import Workload
 from repro.runtime.executor import run_schedule
 from repro.serve.policy import (
     CachedAnytimePolicy,
-    StaticPolicy,
     gpu_only_policy,
     naive_policy,
 )

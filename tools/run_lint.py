@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI entry point for the determinism/concurrency lint.
+
+Thin, dependency-free wrapper so the lint runs before the package is
+installed (CI calls it straight from a checkout)::
+
+    python tools/run_lint.py              # lint src/repro
+    python tools/run_lint.py path ...     # lint specific paths
+    python tools/run_lint.py --select HAX002,HAX004 src/repro
+
+Exit status: 0 clean, 1 findings, 2 usage error.  The rule catalog
+lives in :mod:`repro.analysis.lint` (HAX001-HAX008) and is documented
+in docs/architecture.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if SRC.is_dir() and str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.analysis.lint import LintConfig, RULES, lint_paths  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HaX-CoNN determinism/concurrency lint"
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files or directories (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule ids (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}  {description}")
+        return 0
+
+    config = LintConfig()
+    if args.select:
+        selected = tuple(
+            r.strip() for r in args.select.split(",") if r.strip()
+        )
+        unknown = [r for r in selected if r not in RULES]
+        if unknown:
+            print(
+                f"unknown rule(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return 2
+        config = LintConfig(select=selected)
+
+    paths = args.paths or [str(REPO_ROOT / "src" / "repro")]
+    findings = lint_paths(paths, config)
+    for finding in findings:
+        print(finding.describe())
+    print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
