@@ -151,6 +151,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     report = server.run(horizon_s=args.horizon)
     print(report.describe())
+    eval_stats = getattr(policy, "eval_stats", dict)()
+    if eval_stats.get("evals"):
+        print(
+            f"eval engine: {int(eval_stats['evals'])} evals, "
+            f"memo hit rate {eval_stats['memo_hit_rate'] * 100:.1f}%, "
+            f"{eval_stats['fp_iter_mean']:.2f} fixed-point iters/eval, "
+            f"{int(eval_stats['replayed_evals'])} prefix-replayed"
+        )
     if args.trace:
         path = report.export_chrome_trace(args.trace)
         print(f"Chrome trace written to {path}")

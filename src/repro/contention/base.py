@@ -34,6 +34,12 @@ class ContentionModel(abc.ABC):
         default implementation loops over :meth:`slowdown`, splitting
         the external traffic evenly over the other clients; models
         with a faster path (PCCS table lookups) override this.
+
+        Contract: the result must be *elementwise* -- cell i depends
+        only on ``(own_bw[i], ext_bw[i], n_clients[i])``, never on the
+        other cells in the call.  The evaluation engine's per-cell
+        slowdown memo (``repro.core.evalcache``) relies on this to
+        split and regroup queries without changing results.
         """
         own = np.atleast_1d(np.asarray(own_bw, dtype=float))
         ext = np.atleast_1d(np.asarray(ext_bw, dtype=float))

@@ -20,13 +20,16 @@ follow Eq. 10 (throughput) and Eq. 11 (min-max latency).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.contention.base import ContentionModel, NoContentionModel
 from repro.profiling.profiler import DNNProfile
 from repro.solver.problem import Infeasible
+
+if TYPE_CHECKING:  # evalcache imports this module's names lazily
+    from repro.core.evalcache import EvalCounters, EvalEngine
 
 
 class ScheduleInfeasible(Infeasible):
@@ -134,6 +137,7 @@ class Formulation:
         accel_power_w: Mapping[str, float] | None = None,
         max_iterations: int = 25,
         tolerance: float = 1e-4,
+        eval_counters: "EvalCounters | None" = None,
     ) -> None:
         if len(profiles) != len(repeats):
             raise ValueError("profiles and repeats length mismatch")
@@ -154,6 +158,38 @@ class Formulation:
         self.accel_power_w = dict(accel_power_w or {})
         self.max_iterations = max_iterations
         self.tolerance = tolerance
+        # accelerator-id table, frozen at construction: the sorted
+        # union over every group's supported DSAs.  Any assignment's
+        # accelerators are a subset, and a sorted subset induces the
+        # same relative order as the union, so ids are stable across
+        # evaluations (no more per-evaluate re-sorting or result
+        # snapshots).
+        self._accel_names: list[str] = sorted(
+            {a for p in self.profiles for g in p.groups for a in g.time_s}
+        )
+        self._accel_index: dict[str, int] = {
+            a: i for i, a in enumerate(self._accel_names)
+        }
+        self._eval_counters = eval_counters
+        self._engine: "EvalEngine | None" = None
+
+    @property
+    def accel_names(self) -> tuple[str, ...]:
+        """The frozen accelerator-id table (sorted support union)."""
+        return tuple(self._accel_names)
+
+    @property
+    def engine(self) -> "EvalEngine":
+        """The incremental evaluation engine behind :meth:`evaluate`.
+
+        Built lazily: plain cost-model uses (verifier re-derivations,
+        one-off audits) never pay the tensor precomputation.
+        """
+        if self._engine is None:
+            from repro.core.evalcache import EvalEngine
+
+            self._engine = EvalEngine(self, counters=self._eval_counters)
+        return self._engine
 
     # ------------------------------------------------------------------
     def _build_items(
@@ -209,13 +245,12 @@ class Formulation:
                     lead_out.append(out_s)
                     lead_in.append(in_s)
                     prev_accels.append(prev)
-        names = sorted(set(accels))
-        accel_id = np.array([names.index(a) for a in accels], dtype=int)
+        index = self._accel_index
+        accel_id = np.array([index[a] for a in accels], dtype=int)
         prev_accel_id = np.array(
-            [names.index(p) if p in names else -1 for p in prev_accels],
+            [index.get(p, -1) if p is not None else -1 for p in prev_accels],
             dtype=int,
         )
-        self._accel_names = names
         return (
             np.array(t0),
             np.array(bw),
@@ -239,6 +274,48 @@ class Formulation:
         Raises :class:`ScheduleInfeasible` on capability violations or
         Eq. 9 same-accelerator overlaps (unless ``serialized``, where
         streams run back-to-back and never contend).
+
+        Delegates to the incremental engine (:mod:`repro.core.evalcache`):
+        memoized, prefix-delta, cached-gather evaluation that is
+        bit-identical to :meth:`evaluate_scratch` -- the reference
+        implementation kept as the differential baseline.
+        """
+        return self.engine.evaluate(
+            assignments,
+            serialized=serialized,
+            check_exclusive=check_exclusive,
+        )
+
+    def evaluate_many(
+        self,
+        batch: Sequence[Sequence[Sequence[str]]],
+        *,
+        serialized: bool = False,
+        check_exclusive: bool = True,
+    ) -> "list[EvaluationResult | Exception]":
+        """Evaluate a batch of sibling assignments in one engine pass.
+
+        Infeasible entries come back as :class:`ScheduleInfeasible`
+        *instances* in place of a result, so one bad sibling does not
+        abort the batch.  Results are bit-identical to per-call
+        :meth:`evaluate`.
+        """
+        return self.engine.evaluate_many(
+            batch, serialized=serialized, check_exclusive=check_exclusive
+        )
+
+    def evaluate_scratch(
+        self,
+        assignments: Sequence[Sequence[str]],
+        *,
+        serialized: bool = False,
+        check_exclusive: bool = True,
+    ) -> EvaluationResult:
+        """Reference from-scratch evaluation (no caches, no reuse).
+
+        The engine's differential baseline: every optimization behind
+        :meth:`evaluate` must reproduce this bit-for-bit (enforced by
+        ``tests/core/test_evalcache.py`` and the PR-3 verifier).
         """
         (
             t0,
@@ -313,11 +390,7 @@ class Formulation:
             )
             energy_j = float(((end - start) * power[accel_id]).sum())
         objective = self._objective(per_dnn, serialized, energy_j)
-        # snapshot: self._accel_names is overwritten by the next
-        # evaluate() on this formulation, but the lazy item builder
-        # may run long after (e.g. a serial-fallback result inspected
-        # once the solver has probed other assignments)
-        names = list(self._accel_names)
+        names = self._accel_names
         return EvaluationResult(
             per_dnn_time=per_dnn,
             objective=objective,

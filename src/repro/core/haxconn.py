@@ -15,7 +15,10 @@ import itertools
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.contention.base import ContentionModel
+from repro.core.evalcache import EvalCounters
 from repro.core.formulation import (
     EvaluationResult,
     Formulation,
@@ -169,6 +172,11 @@ class HaXCoNN:
         self.solver_seed = solver_seed
         self.solver_backend = solver_backend
         self.solver_clock = solver_clock
+        #: evaluation-engine counters, accumulated across every
+        #: formulation this scheduler builds (D-HaX-CoNN re-solves
+        #: mixes online, so per-formulation counters would reset on
+        #: each mix change); surfaced by ``stats()`` consumers
+        self.eval_counters = EvalCounters()
 
     @property
     def contention_model(self) -> ContentionModel:
@@ -196,6 +204,7 @@ class HaXCoNN:
                 a.name: a.active_power_w
                 for a in self.platform.accelerators
             },
+            eval_counters=self.eval_counters,
         )
         return formulation, profiles
 
@@ -339,11 +348,112 @@ class HaXCoNN:
 
                 constraints.append(ordered)
 
+        # Vectorized sibling bounds: per stream, one aligned table of
+        # every domain value's isolated chain time / per-DSA busy time
+        # / chain energy, so the solver prices a node's whole child
+        # set with numpy gathers instead of one lower_bound call per
+        # child.  Bit-identity with the scalar bound is load-bearing
+        # (identical floats -> identical prune decisions -> identical
+        # trees): terms are added in stream-index order with the
+        # branched stream contributing a vector, zero-adds are exact
+        # for the non-negative times involved, and max/negate
+        # reductions are exact for IEEE doubles in any order.
+        n_streams = len(domains)
+        val_index = [
+            {a: i for i, a in enumerate(domain)} for domain in domains
+        ]
+        chain_tab = [
+            np.array([chain(n, a) for a in domain])
+            for n, domain in enumerate(domains)
+        ]
+        busy_tab = [
+            np.array(
+                [
+                    [busy(n, a).get(acc, 0.0) for a in domain]
+                    for acc in accel_names
+                ]
+            )
+            for n, domain in enumerate(domains)
+        ]
+        energy_tab = (
+            [
+                np.array([formulation.chain_energy(n, a) for a in domain])
+                for n, domain in enumerate(domains)
+            ]
+            if formulation.objective == "energy"
+            else None
+        )
+
+        def child_bounds(partial, variable) -> np.ndarray:
+            b = int(variable.name[3:])
+            index = val_index[b]
+            idx = np.fromiter(
+                (index[v] for v in variable.domain),
+                dtype=int,
+                count=len(variable.domain),
+            )
+            if formulation.objective == "energy":
+                assert energy_tab is not None
+                acc = np.zeros(idx.size)
+                for n in range(n_streams):
+                    if n == b:
+                        acc = acc + energy_tab[n][idx]
+                    elif f"dnn{n}" in partial:
+                        acc = acc + formulation.chain_energy(
+                            n, partial[f"dnn{n}"]
+                        )
+                    else:
+                        acc = acc + min_energy[n]
+                return acc
+            if formulation.objective == "latency":
+                # max over per_dnn folds the branched stream in last;
+                # max is order-insensitive in value for floats
+                other = float("-inf")
+                for n in range(n_streams):
+                    if n == b:
+                        continue
+                    t = (
+                        chain(n, partial[f"dnn{n}"])
+                        if f"dnn{n}" in partial
+                        else min_chain[n]
+                    )
+                    if t > other:
+                        other = t
+                per_vec = np.maximum(chain_tab[b][idx], other)
+                tot = np.zeros((len(accel_names), idx.size))
+                for n in range(n_streams):
+                    if n == b:
+                        tot = tot + busy_tab[n][:, idx]
+                    elif f"dnn{n}" in partial:
+                        col = busy_tab[n][:, val_index[n][partial[f"dnn{n}"]]]
+                        tot = tot + col[:, None]
+                return np.maximum(per_vec, tot.max(axis=0))
+            # throughput: negated sum of per-stream rates, stream order
+            acc = np.zeros(idx.size)
+            for n in range(n_streams):
+                if n == b:
+                    t_vec = chain_tab[n][idx]
+                    term = np.full(idx.size, float("inf"))
+                    pos = t_vec > 0
+                    term[pos] = formulation.repeats[n] / t_vec[pos]
+                    acc = acc + term
+                else:
+                    t = (
+                        chain(n, partial[f"dnn{n}"])
+                        if f"dnn{n}" in partial
+                        else min_chain[n]
+                    )
+                    acc = acc + (
+                        formulation.repeats[n] / t if t > 0 else float("inf")
+                    )
+            return -acc
+
         return Problem(
             variables=variables,
             objective=objective,
             constraints=constraints,
             lower_bound=lower_bound,
+            child_bounds=child_bounds,
         )
 
     def dominance_reduced(
@@ -399,6 +509,9 @@ class HaXCoNN:
             objective=problem.objective,
             constraints=problem.constraints,
             lower_bound=problem.lower_bound,
+            # the table closure indexes by value, so reduced domains
+            # (subsets of the full ones) gather correctly
+            child_bounds=problem.child_bounds,
         )
 
     def contention_oblivious_seeds(
@@ -561,6 +674,10 @@ class HaXCoNN:
                 seed=self.solver_seed,
                 backend=self.solver_backend,
                 clock=self.solver_clock,
+                # workers trade evaluation-memo entries at epoch syncs
+                # and the parent keeps the union, so D-HaX-CoNN's next
+                # re-solve of a similar mix starts memo-warm
+                shared_state=formulation.engine.memo,
             )
             seeds = self.contention_oblivious_seeds(
                 workload, formulation, problem

@@ -103,6 +103,22 @@ class ScheduleCache:
         """This cache's key for ``workload``."""
         return workload_signature(workload, self.scheduler)
 
+    def stats(self) -> dict[str, float]:
+        """Traffic counters plus the scheduler's evaluation-engine
+        counters, one flat dict for serving/experiment summaries."""
+        # deferred: repro.runtime pulls in the simulator stack
+        from repro.runtime.metrics import hit_rate
+
+        out: dict[str, float] = {
+            "size": float(len(self._store)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": hit_rate(self.hits, self.misses),
+        }
+        for key, value in self.scheduler.eval_counters.as_dict().items():
+            out[f"eval_{key}"] = value
+        return out
+
     def warm_starts(
         self, workload: Workload, *, limit: int = 2
     ) -> list[tuple[str, list[tuple[str, ...]]]]:

@@ -129,6 +129,7 @@ def run(
         )
         report = server.run(horizon_s=horizon_s)
         stats = policy.stats()
+        eval_stats = getattr(policy, "eval_stats", dict)()
         util = report.utilization()
         rows.append(
             {
@@ -143,6 +144,8 @@ def run(
                 "solves": stats.get("solves", 0),
                 "cache_hits": stats.get("cache_hits", 0),
                 "swaps": stats.get("swaps", 0),
+                "memo_hit_%": 100.0 * eval_stats.get("memo_hit_rate", 0.0),
+                "fp_iter": eval_stats.get("fp_iter_mean", 0.0),
                 "gpu_util_%": util.get(platform.gpu.name, 0.0) * 100.0,
             }
         )
@@ -164,6 +167,8 @@ def format_results(rows: list[dict[str, object]]) -> str:
             "solves",
             "cache_hits",
             "swaps",
+            "memo_hit_%",
+            "fp_iter",
             "gpu_util_%",
         ],
         title="Serving: cache+anytime vs static policies on a "

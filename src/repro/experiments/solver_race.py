@@ -85,6 +85,7 @@ def race(
         first_s, tt5 = anytime_profile(
             solve.incumbents, solve.best.objective
         )
+        counters = scheduler.eval_counters.as_dict()
         rows.append(
             {
                 "solver": label,
@@ -95,6 +96,9 @@ def race(
                 "tt5pct_s": tt5,
                 "total_s": elapsed,
                 "nodes": solve.nodes_explored,
+                "evals": int(counters["evals"]),
+                "memo_hit_%": counters["memo_hit_rate"] * 100.0,
+                "fp_iter": counters["fp_iter_mean"],
             }
         )
     return rows
@@ -116,6 +120,9 @@ def format_results(rows: list[dict[str, object]]) -> str:
             "tt5pct_s",
             "total_s",
             "nodes",
+            "evals",
+            "memo_hit_%",
+            "fp_iter",
         ),
         title="Solver race: anytime convergence "
         f"({PLATFORM}, groups<={MAX_GROUPS}, "

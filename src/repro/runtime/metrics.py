@@ -33,6 +33,30 @@ def speedup(baseline: float, improved: float) -> float:
     return baseline / improved
 
 
+def hit_rate(hits: int, misses: int) -> float:
+    """Cache hit fraction; 0.0 before any lookup happened.
+
+    Shared by every cache the stack reports on (schedule cache,
+    evaluation memo, slowdown cells) so summaries agree on the
+    no-traffic convention.
+    """
+    if hits < 0 or misses < 0:
+        raise ValueError("hits and misses must be >= 0")
+    lookups = hits + misses
+    return hits / lookups if lookups else 0.0
+
+
+def per_event_mean(total: float, events: int) -> float:
+    """Mean of an accumulated total over its event count (0 if none).
+
+    The shape of every "iterations per evaluation"-style counter pair
+    exported by the evaluation engine.
+    """
+    if events < 0:
+        raise ValueError("events must be >= 0")
+    return total / events if events else 0.0
+
+
 # -- sample aggregation -----------------------------------------------
 
 

@@ -349,3 +349,16 @@ class CachedAnytimePolicy(ServingPolicy):
             "cache_misses": self.cache.misses,
             "verify_failures": self.verify_failures,
         }
+
+    def eval_stats(self) -> dict[str, float]:
+        """Evaluation-engine telemetry accumulated by the scheduler.
+
+        Deliberately *not* part of :meth:`stats`: the hit/miss split
+        and fixed-point iteration counts depend on worker interleaving
+        under the parallel portfolio (results never do), so folding
+        them into ``stats()`` would break the byte-identical
+        same-seed guarantee the serving reports are tested against.
+        Summaries that want the telemetry (``haxconn serve``, the
+        serving experiment) pull it from here explicitly.
+        """
+        return self.scheduler.eval_counters.as_dict()

@@ -21,10 +21,10 @@ reproducible (see DESIGN.md).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
+from repro.solver.clock import monotonic_s
 from repro.solver.problem import Assignment, Infeasible, Problem
 
 
@@ -142,7 +142,7 @@ class BranchAndBound:
         the independent certificate checker and raises
         :class:`repro.analysis.CertificateError` on any violation.
         """
-        start = time.perf_counter()  # haxlint: allow[HAX002] wall budget
+        start = monotonic_s()
         state = _SearchState(problem, self, start)
         if initial is not None:
             try:
@@ -159,7 +159,7 @@ class BranchAndBound:
             best=state.best,
             optimal=exhausted,
             nodes_explored=state.nodes,
-            wall_time_s=time.perf_counter() - start,  # haxlint: allow[HAX002] reported wall time
+            wall_time_s=monotonic_s() - start,
             incumbents=state.incumbents,
         )
         if verify:
@@ -198,7 +198,7 @@ class _SearchState:
         inc = Incumbent(
             assignment=assignment,
             objective=objective,
-            wall_time_s=time.perf_counter() - self.start,  # haxlint: allow[HAX002] reported wall time
+            wall_time_s=monotonic_s() - self.start,
             nodes_explored=self.nodes,
         )
         self.best = inc
@@ -213,7 +213,7 @@ class _SearchState:
         ):
             return True
         if self.cfg.time_budget_s is not None:
-            now = time.perf_counter()  # haxlint: allow[HAX002] wall budget
+            now = monotonic_s()
             if now - self.start >= self.cfg.time_budget_s:
                 return True
         return False
@@ -243,19 +243,27 @@ class _SearchState:
             return True
 
         variable = problem.variables[depth]
+        # one vectorized call prices the whole sibling set; evaluated
+        # before the loop because the partial is mutated in place below
+        bounds_vec: Sequence[float] | None = (
+            problem.child_bounds(partial, variable)
+            if problem.child_bounds is not None
+            else None
+        )
         children: list[tuple[float, Any]] = []
-        for value in variable.domain:
+        for i, value in enumerate(variable.domain):
             partial[variable.name] = value
             self.nodes += 1
             self.maybe_sync()
             try:
                 if not problem.feasible(partial):
                     continue
-                bound = (
-                    problem.lower_bound(partial)
-                    if problem.lower_bound is not None
-                    else float("-inf")
-                )
+                if bounds_vec is not None:
+                    bound = float(bounds_vec[i])
+                elif problem.lower_bound is not None:
+                    bound = problem.lower_bound(partial)
+                else:
+                    bound = float("-inf")
             except Infeasible:
                 # constraints and bounds may signal infeasibility the
                 # same way objectives do; the subtree is dead either way

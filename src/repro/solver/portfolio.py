@@ -44,9 +44,8 @@ import os
 import queue
 import random
 import threading
-import time
 from dataclasses import dataclass
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import Any, Callable, Iterator, Mapping, Protocol, Sequence
 
 from repro.solver.bnb import (
     BranchAndBound,
@@ -54,10 +53,32 @@ from repro.solver.bnb import (
     SolveResult,
     StopSearch,
 )
+from repro.solver.clock import monotonic_s
 from repro.solver.problem import Assignment, Infeasible, Problem
 
 #: message tags on the worker -> parent queue
 _SYNC, _DONE, _ERROR = "sync", "done", "error"
+
+
+class SharedEvalState(Protocol):
+    """Read-mostly evaluation state piggybacked on the epoch sync.
+
+    The canonical implementation is the evaluation engine's
+    :class:`repro.core.evalcache.MemoTable`.  Entries must be *pure*
+    -- bit-identical to recomputation -- so exchanging them between
+    workers changes speed but never a result, which is what keeps the
+    portfolio's determinism guarantee intact.  Deltas are plain
+    picklable tuples (they cross :class:`multiprocessing.SimpleQueue`
+    under the fork backend).
+    """
+
+    def export_delta(self, limit: int = 256) -> tuple[Any, ...]:
+        """Drain locally-new entries to send to peers."""
+        ...
+
+    def merge(self, delta: Sequence[Any]) -> None:
+        """Adopt peer entries without re-exporting them."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -143,6 +164,7 @@ def _permuted(problem: Problem, order: tuple[int, ...] | None) -> Problem:
         objective=problem.objective,
         constraints=problem.constraints,
         lower_bound=problem.lower_bound,
+        child_bounds=problem.child_bounds,
     )
 
 
@@ -156,20 +178,35 @@ def _run_worker(
     inbox: Any,
     outbox: Any,
     wid: int,
+    shared_state: SharedEvalState | None = None,
 ) -> None:
-    """Worker loop: search, report at sync points, obey stop/bound."""
+    """Worker loop: search, report at sync points, obey stop/bound.
+
+    ``shared_state`` piggybacks evaluation-memo deltas on the epoch
+    sync: the worker drains its locally-new entries into each report
+    and adopts the epoch union broadcast back with the bound.  Under
+    the fork backend this is the forked copy of the same object the
+    problem's objective closes over, so adopted entries land directly
+    in the evaluation hot path; under threads all workers already
+    share one table and the exchange degenerates to a cheap no-op.
+    """
     target = problem if strategy.exact or reduced is None else reduced
     pending: list[tuple[dict[str, Any], float, int]] = []
+
+    def delta() -> tuple[Any, ...]:
+        return shared_state.export_delta() if shared_state is not None else ()
 
     def on_incumbent(inc: Incumbent) -> None:
         pending.append((inc.assignment, inc.objective, inc.nodes_explored))
 
     def on_sync(nodes: int, best: Incumbent | None) -> float | None:
-        outbox.put((_SYNC, wid, tuple(pending), nodes))
+        outbox.put((_SYNC, wid, tuple(pending), delta(), nodes))
         pending.clear()
         reply = inbox.get()
         if reply[0] == "stop":
             raise StopSearch
+        if shared_state is not None and len(reply) > 2 and reply[2]:
+            shared_state.merge(reply[2])
         return reply[1]
 
     solver = BranchAndBound(
@@ -187,7 +224,15 @@ def _run_worker(
     exhausted = bool(result.optimal)
     certifies = exhausted and target is problem
     outbox.put(
-        (_DONE, wid, tuple(pending), exhausted, certifies, result.nodes_explored)
+        (
+            _DONE,
+            wid,
+            tuple(pending),
+            delta(),
+            exhausted,
+            certifies,
+            result.nodes_explored,
+        )
     )
 
 
@@ -246,6 +291,14 @@ class PortfolioSolver:
         Wall-clock budget enforced at epoch boundaries; truncation by
         time is inherently nondeterministic and forfeits the
         determinism guarantee (results are still valid incumbents).
+    shared_state:
+        Optional :class:`SharedEvalState` (the evaluation engine's
+        memo table) exchanged between workers at epoch syncs.  Worker
+        deltas are merged into it in worker-index order, so the caller
+        keeps every worker's computed evaluations after ``solve`` --
+        even under the fork backend, where worker memory is otherwise
+        discarded.  Purely a speed channel: entries are bit-identical
+        to recomputation, so results never depend on it.
     """
 
     def __init__(
@@ -262,6 +315,7 @@ class PortfolioSolver:
         node_rate: float = 2000.0,
         greedy_sweeps: int = 1,
         strategies: Sequence[Strategy] | None = None,
+        shared_state: SharedEvalState | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -292,6 +346,7 @@ class PortfolioSolver:
         self.node_rate = node_rate
         self.greedy_sweeps = greedy_sweeps
         self.strategies = tuple(strategies) if strategies is not None else None
+        self.shared_state = shared_state
 
     # ------------------------------------------------------------------
     def _resolve_backend(self, workers: int) -> str:
@@ -357,7 +412,7 @@ class PortfolioSolver:
         seeds: Sequence[Assignment | tuple[str, Assignment]] = (),
         reduced: Problem | None = None,
     ) -> PortfolioResult:
-        start = time.perf_counter()  # haxlint: allow[HAX002] wall budget
+        start = monotonic_s()
         merged: list[Incumbent] = []
         best: Incumbent | None = None
         root_nodes = 0
@@ -370,7 +425,7 @@ class PortfolioSolver:
         def timestamp() -> float:
             if self.clock == "nodes":
                 return virtual_nodes() / self.node_rate
-            return time.perf_counter() - start  # haxlint: allow[HAX002] wall budget
+            return monotonic_s() - start
 
         def record(assignment: Mapping[str, Any], objective: float) -> bool:
             nonlocal best, last_ts
@@ -471,6 +526,7 @@ class PortfolioSolver:
                         inboxes[w],
                         outboxes[w],
                         w,
+                        self.shared_state,
                     ),
                     daemon=True,
                 )
@@ -492,6 +548,7 @@ class PortfolioSolver:
                         inboxes[w],
                         outboxes[w],
                         w,
+                        self.shared_state,
                     ),
                     daemon=True,
                 )
@@ -504,6 +561,9 @@ class PortfolioSolver:
         alive = set(range(workers))
         certified = False
         error: tuple[int, str] | None = None
+        #: memo entries received this epoch, in worker-index order
+        #: (deterministic merge order, like incumbents)
+        epoch_deltas: list[Any] = []
 
         def consume(msg: tuple[Any, ...]) -> int | None:
             """Merge one worker message; return wid when it finished."""
@@ -521,8 +581,13 @@ class PortfolioSolver:
             worker_nodes[wid] = nodes
             for assignment, objective, _wnodes in incumbents:
                 record(assignment, objective)
+            delta = msg[3]
+            if delta:
+                epoch_deltas.extend(delta)
+                if self.shared_state is not None:
+                    self.shared_state.merge(delta)
             if kind == _DONE:
-                exhausted, certifies = msg[3], msg[4]
+                exhausted, certifies = msg[4], msg[5]
                 stats[wid] = WorkerStats(
                     strategies[wid].name, nodes, exhausted,
                     strategies[wid].exact,
@@ -533,6 +598,7 @@ class PortfolioSolver:
 
         try:
             while alive:
+                epoch_deltas.clear()
                 finished = []
                 for wid in sorted(alive):
                     done_wid = consume(outboxes[wid].get())
@@ -540,12 +606,13 @@ class PortfolioSolver:
                         finished.append(done_wid)
                 for wid in finished:
                     alive.discard(wid)
-                now = time.perf_counter()  # haxlint: allow[HAX002] wall budget
+                now = monotonic_s()
                 over_time = (
                     self.time_budget_s is not None
                     and now - start >= self.time_budget_s
                 )
                 stop = certified or error is not None or over_time
+                broadcast = tuple(epoch_deltas)
                 for wid in sorted(alive):
                     inboxes[wid].put(
                         ("stop",)
@@ -553,6 +620,7 @@ class PortfolioSolver:
                         else (
                             "bound",
                             best.objective if best is not None else None,
+                            broadcast,
                         )
                     )
                 if stop:
@@ -578,7 +646,7 @@ class PortfolioSolver:
             best=best,
             optimal=certified,
             nodes_explored=virtual_nodes(),
-            wall_time_s=time.perf_counter() - start,  # haxlint: allow[HAX002] reported wall time
+            wall_time_s=monotonic_s() - start,
             incumbents=merged,
             workers=tuple(stats[w] for w in sorted(stats)),
             backend=backend,
@@ -604,7 +672,7 @@ class PortfolioSolver:
             remaining = max(
                 1e-6,
                 self.time_budget_s
-                - (time.perf_counter() - start)  # haxlint: allow[HAX002] wall budget
+                - (monotonic_s() - start)
             )
 
         def on_incumbent(inc: Incumbent) -> None:
@@ -625,7 +693,7 @@ class PortfolioSolver:
             best=merged[-1] if merged else None,
             optimal=result.optimal,
             nodes_explored=root_nodes + result.nodes_explored,
-            wall_time_s=time.perf_counter() - start,  # haxlint: allow[HAX002] reported wall time
+            wall_time_s=monotonic_s() - start,
             incumbents=merged,
             workers=(
                 WorkerStats(

@@ -52,6 +52,17 @@ class Problem:
         Admissible bound over partial assignments: must never exceed
         the best complete extension's objective.  ``None`` disables
         bound pruning (pure enumeration).
+    child_bounds:
+        Vectorized counterpart of ``lower_bound`` for the solver's
+        sibling loop: called with the *parent* partial (the branched
+        variable still unassigned) and the :class:`Variable` being
+        branched, it returns one admissible bound per domain value --
+        entry ``i`` must equal ``lower_bound`` on the partial extended
+        with ``variable.domain[i]``, bit for bit, so the two paths
+        explore identical trees.  Unlike ``lower_bound`` it must never
+        raise :class:`Infeasible` (return ``inf`` for dead values) and
+        must not mutate the partial.  ``None`` keeps the per-child
+        scalar path.
     """
 
     variables: Sequence[Variable]
@@ -60,6 +71,9 @@ class Problem:
         default_factory=tuple
     )
     lower_bound: Callable[[Assignment], float] | None = None
+    child_bounds: Callable[[Assignment, Variable], Sequence[float]] | None = (
+        None
+    )
 
     def __post_init__(self) -> None:
         names = [v.name for v in self.variables]

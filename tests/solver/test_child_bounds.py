@@ -1,0 +1,150 @@
+"""Vectorized sibling bounds must match the scalar bound bit for bit.
+
+``Problem.child_bounds`` prices a node's whole child set in one NumPy
+pass; identical floats are load-bearing (identical bounds -> identical
+prune decisions -> identical search trees and incumbent streams), so
+equality here is exact ``==``, never approx.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.solver import BranchAndBound
+
+OBJECTIVES = ("latency", "throughput", "energy")
+
+
+def build_problem(xavier, xavier_db, objective):
+    scheduler = HaXCoNN(
+        xavier, db=xavier_db, max_groups=3, max_transitions=1
+    )
+    workload = Workload.concurrent(
+        "alexnet", "resnet18", objective=objective
+    )
+    formulation, _ = scheduler.build_formulation(workload)
+    return scheduler.build_problem(workload, formulation)
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES)
+def test_child_bounds_equal_scalar_bound_bitwise(
+    xavier, xavier_db, objective
+):
+    """Every (partial, branch variable, domain value): the vectorized
+    entry equals ``lower_bound`` on the extended partial exactly."""
+    problem = build_problem(xavier, xavier_db, objective)
+    assert problem.child_bounds is not None
+    assert problem.lower_bound is not None
+    v0, v1 = problem.variables
+
+    partials = [{}]
+    partials += [{v0.name: a} for a in v0.domain[:6]]
+    partials += [{v1.name: a} for a in v1.domain[:4]]
+    for partial in partials:
+        variable = v1 if v0.name in partial else v0
+        before = dict(partial)
+        vec = problem.child_bounds(partial, variable)
+        assert partial == before, "child_bounds mutated the partial"
+        assert len(vec) == len(variable.domain)
+        for i, value in enumerate(variable.domain):
+            extended = {**partial, variable.name: value}
+            assert float(vec[i]) == problem.lower_bound(extended), (
+                f"{objective}: entry {i} diverges on {sorted(partial)}"
+            )
+
+
+@pytest.mark.parametrize("objective", OBJECTIVES)
+def test_bnb_tree_identical_with_and_without_child_bounds(
+    xavier, xavier_db, objective
+):
+    """Stripping child_bounds (forcing the scalar per-child path) must
+    reproduce the same tree: node count, incumbent objectives and
+    assignments, certified optimum."""
+    problem = build_problem(xavier, xavier_db, objective)
+    scalar = dataclasses.replace(problem, child_bounds=None)
+
+    fast = BranchAndBound().solve(problem)
+    slow = BranchAndBound().solve(scalar)
+
+    assert fast.optimal and slow.optimal
+    assert fast.nodes_explored == slow.nodes_explored
+    assert fast.best is not None and slow.best is not None
+    assert fast.best.objective == slow.best.objective
+    assert fast.best.assignment == slow.best.assignment
+    assert [i.objective for i in fast.incumbents] == [
+        i.objective for i in slow.incumbents
+    ]
+    assert [i.assignment for i in fast.incumbents] == [
+        i.assignment for i in slow.incumbents
+    ]
+
+
+def test_subset_domains_gather_correctly(xavier, xavier_db):
+    """Dominance reduction and portfolio permutation hand the solver
+    variables whose domains are value-subsets of the originals; the
+    bound tables index by *value*, so a trimmed domain must still
+    price exactly like the scalar bound."""
+    problem = build_problem(xavier, xavier_db, "latency")
+    v0, v1 = problem.variables
+    trimmed = dataclasses.replace(v1, domain=v1.domain[::2])
+    assert trimmed.domain != v1.domain
+
+    for fixed in v0.domain[:3]:
+        partial = {v0.name: fixed}
+        vec = problem.child_bounds(partial, trimmed)
+        assert len(vec) == len(trimmed.domain)
+        for i, value in enumerate(trimmed.domain):
+            extended = {**partial, trimmed.name: value}
+            assert float(vec[i]) == problem.lower_bound(extended)
+
+
+def test_child_bounds_survive_domain_permutation(xavier, xavier_db):
+    """The portfolio permutes domains per worker; bounds must follow
+    the permuted value order, not the original index order."""
+    problem = build_problem(xavier, xavier_db, "latency")
+    v0 = problem.variables[0]
+    permuted = dataclasses.replace(
+        v0, domain=tuple(reversed(v0.domain))
+    )
+    vec = problem.child_bounds({}, permuted)
+    for i, value in enumerate(permuted.domain):
+        assert float(vec[i]) == problem.lower_bound({v0.name: value})
+
+
+def test_solver_objective_unchanged_across_solver_paths(
+    xavier, xavier_db
+):
+    """End to end: exhaustive reference == bnb-with-bounds on a real
+    3-network instance (bounds only prune, never cut the optimum)."""
+    from repro.solver import solve_exhaustive
+
+    scheduler = HaXCoNN(
+        xavier, db=xavier_db, max_groups=2, max_transitions=1
+    )
+    workload = Workload.concurrent("alexnet", "resnet18", "googlenet")
+    formulation, _ = scheduler.build_formulation(workload)
+    problem = scheduler.build_problem(workload, formulation)
+    reference = solve_exhaustive(
+        dataclasses.replace(
+            problem, lower_bound=None, child_bounds=None
+        )
+    )
+    fast = BranchAndBound().solve(problem)
+    assert fast.optimal
+    assert fast.best.objective == pytest.approx(
+        reference.best.objective, rel=1e-12
+    )
+
+
+def test_monotonic_clock():
+    """The sanctioned wall-clock helper: float seconds, non-decreasing."""
+    from repro.solver.clock import monotonic_s
+
+    a = monotonic_s()
+    b = monotonic_s()
+    assert isinstance(a, float)
+    assert b >= a
