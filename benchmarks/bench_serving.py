@@ -13,7 +13,7 @@ from repro.experiments import serving
 from conftest import full_run
 
 
-def test_bench_serving(benchmark, save_report):
+def test_bench_serving(benchmark, save_report, save_json):
     if full_run():
         kwargs = {"horizon_s": 1.0}
     else:
@@ -25,6 +25,7 @@ def test_bench_serving(benchmark, save_report):
         serving.run, kwargs=kwargs, rounds=1, iterations=1
     )
     save_report("serving", serving.format_results(rows))
+    save_json("serving", {"config": kwargs, "rows": rows})
 
     by_policy = {str(r["policy"]): r for r in rows}
     assert set(by_policy) == {"gpu_only", "naive", "haxconn"}

@@ -42,7 +42,7 @@ def _race_once(**kwargs):
     return rows, float(portfolio["tt5pct_s"]), float(bnb["tt5pct_s"])
 
 
-def test_bench_solver_race(save_report):
+def test_bench_solver_race(save_report, save_json):
     rows = None
     for attempt in range(ATTEMPTS):
         rows, tt5_portfolio, tt5_bnb = _race_once(seed=attempt)
@@ -54,6 +54,15 @@ def test_bench_solver_race(save_report):
             f"{RATIO} x bnb {tt5_bnb:.3f}s after {ATTEMPTS} attempts"
         )
     save_report("solver_race", solver_race.format_results(rows))
+    save_json(
+        "solver_race",
+        {
+            "ratio_threshold": RATIO,
+            "tt5pct_portfolio_s": tt5_portfolio,
+            "tt5pct_bnb_s": tt5_bnb,
+            "rows": rows,
+        },
+    )
 
 
 @pytest.mark.slow

@@ -9,6 +9,7 @@ protocol (all Table 8 pairs, all Fig. 5/6 models, 10 s Fig. 7 phases).
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -31,3 +32,46 @@ def save_report():
         print(f"\n{text}\n")
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Machine-readable twin of ``save_report``: dump a payload to
+    ``benchmarks/results/<name>.json`` (stable key order; numpy
+    scalars coerced through float)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, payload: object) -> Path:
+        path = RESULTS_DIR / f"{name}.json"
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=float)
+            + "\n"
+        )
+        return path
+
+    return _save
+
+
+@pytest.fixture(scope="session", autouse=True)
+def profile_store():
+    """Share one on-disk profile store across every benchmark run.
+
+    Points ``REPRO_PROFILE_STORE`` at ``benchmarks/results`` so
+    :func:`repro.experiments.common.get_db` loads persisted profile
+    databases instead of re-deriving them, and persists whatever was
+    profiled at session end -- the paper's profile-once workflow,
+    across processes.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    from repro.experiments import common
+
+    previous = os.environ.get(common.PROFILE_STORE_ENV)
+    os.environ[common.PROFILE_STORE_ENV] = str(RESULTS_DIR)
+    try:
+        yield
+        common.persist_profile_stores()
+    finally:
+        if previous is None:
+            os.environ.pop(common.PROFILE_STORE_ENV, None)
+        else:
+            os.environ[common.PROFILE_STORE_ENV] = previous

@@ -107,6 +107,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         gpu_only_policy,
         naive_policy,
     )
+    from repro.dnn.zoo import canonical_name
     from repro.serve.requests import make_arrivals
     from repro.soc import get_platform
 
@@ -115,6 +116,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     seen: dict[str, int] = {}
     for k, spec in enumerate(args.tenants):
         model, rate, slo_s = parse_tenant_spec(spec, k)
+        # validate eagerly so a bad name fails with the usual
+        # `error: unknown model ...` instead of a mid-run shard crash
+        canonical_name(model)
         count = seen.get(model, 0)
         seen[model] = count + 1
         name = model if count == 0 else f"{model}@{count}"
@@ -128,24 +132,72 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 slo_s=slo_s,
             )
         )
-    if args.policy == "haxconn":
-        scheduler = HaXCoNN(
+    from repro.profiling.database import ProfileDB
+
+    store = None
+    if args.store is not None:
+        from repro.core.solve_store import SolveStore
+
+        store = SolveStore(args.store)
+    db = ProfileDB(platform)
+
+    def make_policy(attach_store: bool):
+        if args.policy == "haxconn":
+            scheduler = HaXCoNN(
+                platform,
+                db=db,
+                max_transitions=args.max_transitions,
+                solver=args.solver,
+                solver_workers=args.workers,
+                # the fleet's cross-backend byte-identity needs
+                # virtual incumbent timestamps, not wall-clock ones
+                solver_clock=(
+                    "nodes" if args.solver == "portfolio" else "wall"
+                ),
+            )
+            return CachedAnytimePolicy(
+                scheduler,
+                max_queue_depth=args.max_queue_depth,
+                store=store if attach_store else None,
+            )
+        if args.policy == "gpu-only":
+            return gpu_only_policy(
+                platform, max_queue_depth=args.max_queue_depth
+            )
+        return naive_policy(
+            platform, max_queue_depth=args.max_queue_depth
+        )
+
+    if args.shards > 1:
+        from repro.serve.fleet import Fleet
+
+        fleet = Fleet(
             platform,
-            max_transitions=args.max_transitions,
-            solver=args.solver,
-            solver_workers=args.workers,
+            tenants,
+            lambda shard_id: make_policy(False),
+            shards=args.shards,
+            backend=args.backend,
+            router=args.router,
+            max_batch=args.max_batch,
+            sync_rounds=args.sync_rounds,
+            store=store,
         )
-        policy = CachedAnytimePolicy(
-            scheduler, max_queue_depth=args.max_queue_depth
-        )
-    elif args.policy == "gpu-only":
-        policy = gpu_only_policy(
-            platform, max_queue_depth=args.max_queue_depth
-        )
-    else:
-        policy = naive_policy(
-            platform, max_queue_depth=args.max_queue_depth
-        )
+        fleet_report = fleet.run(horizon_s=args.horizon)
+        print(fleet_report.describe())
+        if store is not None:
+            print(
+                f"solve store: {len(store)} records, "
+                f"{len(store.schedules())} schedules over "
+                f"{len(store.signatures())} signatures at {store.path}"
+            )
+        if args.trace:
+            path = fleet_report.export_chrome_trace(args.trace)
+            print(f"Chrome trace written to {path}")
+        return 0
+
+    # single replica: the plain serving loop (store attached directly
+    # to the policy, which then owns read and write-through)
+    policy = make_policy(True)
     server = Server(
         platform, tenants, policy, max_batch=args.max_batch
     )
@@ -158,6 +210,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"memo hit rate {eval_stats['memo_hit_rate'] * 100:.1f}%, "
             f"{eval_stats['fp_iter_mean']:.2f} fixed-point iters/eval, "
             f"{int(eval_stats['replayed_evals'])} prefix-replayed"
+        )
+    if store is not None:
+        print(
+            f"solve store: {len(store)} records, "
+            f"{len(store.schedules())} schedules over "
+            f"{len(store.signatures())} signatures at {store.path}"
         )
     if args.trace:
         path = report.export_chrome_trace(args.trace)
@@ -375,6 +433,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--trace", default=None, help="write a Chrome trace JSON here"
+    )
+    p.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="server replicas; >1 runs the sharded fleet with a "
+        "deterministic tenant router and epoch solve gossip",
+    )
+    p.add_argument(
+        "--backend",
+        choices=("auto", "fork", "thread", "serial"),
+        default="auto",
+        help="fleet worker backend (ignored with --shards 1)",
+    )
+    p.add_argument(
+        "--router",
+        choices=("hash", "balanced"),
+        default="hash",
+        help="tenant->shard placement: stable hash, or expected-"
+        "request least-backlog balancing",
+    )
+    p.add_argument(
+        "--store",
+        default=None,
+        help="persistent solve-store path (JSONL); seeds this run "
+        "and accumulates its solves for the next one",
+    )
+    p.add_argument(
+        "--sync-rounds",
+        type=int,
+        default=8,
+        help="serving rounds between fleet gossip epochs",
     )
     p.set_defaults(fn=_cmd_serve)
 

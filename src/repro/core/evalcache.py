@@ -188,6 +188,23 @@ class MemoTable:
                 self._data[key] = value
                 self._evict(key)
 
+    def export_all(
+        self, limit: int | None = None
+    ) -> tuple[tuple[Any, MemoEntry], ...]:
+        """Snapshot of the newest ``limit`` entries (all when None).
+
+        Unlike :meth:`export_delta` this does not drain ``_pending``:
+        it is the persistence path (the serving layer harvests a
+        solve's memo into the solve store), not the epoch-sync path,
+        and the two must not steal each other's entries.  The *newest*
+        entries are kept because they are the ones computed near
+        convergence -- the densest warm-start value per byte.
+        """
+        items = list(self._data.items())
+        if limit is not None and limit >= 0 and len(items) > limit:
+            items = items[len(items) - limit :]
+        return tuple(items)
+
 
 class _FIFOCache:
     """Minimal bounded insert-only cache for pure derived arrays."""

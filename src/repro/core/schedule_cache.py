@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
 
 from repro.core.haxconn import HaXCoNN, ScheduleResult
 from repro.core.schedule import DNNSchedule, Schedule
 from repro.core.workload import Workload
+
+if TYPE_CHECKING:  # deferred: solve_store is storage-only
+    from repro.core.solve_store import SolveStore
 
 
 def workload_signature(workload: Workload, scheduler: HaXCoNN) -> str:
@@ -46,14 +49,59 @@ def workload_signature(workload: Workload, scheduler: HaXCoNN) -> str:
     return "|".join(parts)
 
 
+def schedule_to_payload(schedule: Schedule) -> dict[str, Any]:
+    """JSON-serializable form of a schedule (the solve-store shape)."""
+    return {
+        "serialized": schedule.serialized,
+        "streams": [
+            {"dnn": s.dnn_name, "assignment": list(s.assignment)}
+            for s in schedule.per_dnn
+        ],
+    }
+
+
+def schedule_from_payload(payload: Mapping[str, Any]) -> Schedule:
+    """Inverse of :func:`schedule_to_payload`.
+
+    Re-materialized schedules carry ``scheduler="cached"`` provenance,
+    exactly like entries loaded by :meth:`ScheduleCache.load`.
+    """
+    return Schedule(
+        per_dnn=tuple(
+            DNNSchedule(
+                dnn_name=s["dnn"], assignment=tuple(s["assignment"])
+            )
+            for s in payload["streams"]
+        ),
+        serialized=bool(payload["serialized"]),
+        meta={"scheduler": "cached"},
+    )
+
+
 class ScheduleCache:
-    """Solve-once, toggle-forever schedule store."""
+    """Solve-once, toggle-forever schedule store.
+
+    Beyond local solve-and-memoize, the cache speaks the portfolio's
+    ``SharedEvalState`` piggyback protocol (:meth:`export_delta` /
+    :meth:`merge`) so serving shards exchange published schedules at
+    epoch boundaries, and it can sit on top of a persistent
+    :class:`~repro.core.solve_store.SolveStore` so schedules survive
+    the process (:meth:`attach_store`).
+    """
 
     def __init__(self, scheduler: HaXCoNN) -> None:
         self.scheduler = scheduler
         self._store: dict[str, Schedule] = {}
         self.hits = 0
         self.misses = 0
+        #: hits answered by entries that came from the attached store
+        self.store_hits = 0
+        #: signatures adopted from the persistent store
+        self._from_store: set[str] = set()
+        #: locally-published (sig, payload) pairs not yet gossiped
+        self._pending: list[tuple[str, dict[str, Any]]] = []
+        #: persistent write-through target (None = in-memory only)
+        self._write_store: "SolveStore | None" = None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -77,15 +125,21 @@ class ScheduleCache:
         if cached is None:
             self.misses += 1
             result = self.scheduler.schedule(workload)
-            self._store[key] = result.schedule
+            self._publish(key, result.schedule)
             return result
         self.hits += 1
+        if key in self._from_store:
+            self.store_hits += 1
         formulation, _ = self.scheduler.build_formulation(workload)
+        # hits always dispatch with "cached" provenance, whatever meta
+        # the installed schedule carried: a cache toggle is a toggle
+        # (and the serving layer's first-HaX-CoNN telemetry counts it
+        # as solver-certified knowledge serving the mix)
         return self.scheduler.result_from_assignments(
             workload,
             formulation,
             [s.assignment for s in cached],
-            scheduler_name=str(cached.meta.get("scheduler", "cached")),
+            scheduler_name="cached",
             serialized=cached.serialized,
         )
 
@@ -97,11 +151,74 @@ class ScheduleCache:
         toggle instantly; neither a hit nor a miss is counted.
         """
         key = workload_signature(workload, self.scheduler)
+        self._publish(key, schedule)
+
+    def _publish(self, key: str, schedule: Schedule) -> None:
+        """Install an entry and queue it for gossip / write-through."""
+        payload = schedule_to_payload(schedule)
         self._store[key] = schedule
+        self._pending.append((key, payload))
+        if self._write_store is not None:
+            self._write_store.append_schedule(key, payload)
 
     def signature(self, workload: Workload) -> str:
         """This cache's key for ``workload``."""
         return workload_signature(workload, self.scheduler)
+
+    # -- persistent store / cross-shard gossip -------------------------
+    def attach_store(self, store: "SolveStore") -> int:
+        """Adopt every schedule the store holds; return the count.
+
+        A writable store also becomes the write-through target: every
+        subsequently published schedule is appended (content-addressed,
+        so repeat publications are free).  Adopted entries answer later
+        lookups as ordinary hits and additionally bump ``store_hits``.
+        """
+        adopted = 0
+        for sig, payload in sorted(store.schedules().items()):
+            if sig not in self._store:
+                self._store[sig] = schedule_from_payload(payload)
+                self._from_store.add(sig)
+                adopted += 1
+        if not store.readonly:
+            self._write_store = store
+        return adopted
+
+    def export_delta(
+        self, limit: int = 256
+    ) -> tuple[tuple[str, dict[str, Any]], ...]:
+        """Drain up to ``limit`` locally-published entries for peers.
+
+        The ``SharedEvalState`` shape the portfolio's epoch sync uses:
+        items are plain picklable tuples, bounded per epoch, and the
+        remainder rides the next sync.
+        """
+        if not self._pending:
+            return ()
+        out = tuple(self._pending[:limit])
+        del self._pending[: len(out)]
+        return out
+
+    def merge(
+        self, delta: Sequence[tuple[str, Mapping[str, Any]]]
+    ) -> None:
+        """Adopt peer-published schedules; never re-exported (no echo
+        loops), never counted as local hits or misses."""
+        for sig, payload in delta:
+            if sig not in self._store:
+                self._store[sig] = schedule_from_payload(payload)
+
+    def adopt_stored(
+        self, delta: Sequence[tuple[str, Mapping[str, Any]]]
+    ) -> None:
+        """Like :meth:`merge`, but for entries that originate in the
+        persistent solve store (the fleet seeds workers this way so
+        they never open the store file themselves); lookups these
+        entries answer additionally bump ``store_hits``."""
+        for sig, payload in delta:
+            if sig not in self._store:
+                self._store[sig] = schedule_from_payload(payload)
+                self._from_store.add(sig)
 
     def stats(self) -> dict[str, float]:
         """Traffic counters plus the scheduler's evaluation-engine
@@ -114,6 +231,7 @@ class ScheduleCache:
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": hit_rate(self.hits, self.misses),
+            "store_hits": float(self.store_hits),
         }
         for key, value in self.scheduler.eval_counters.as_dict().items():
             out[f"eval_{key}"] = value
@@ -166,35 +284,34 @@ class ScheduleCache:
 
     # -- persistence -----------------------------------------------------
     def save(self, path: str | Path) -> None:
+        """Snapshot to JSON (v2: entries plus traffic counters)."""
         payload = {
-            key: {
-                "serialized": schedule.serialized,
-                "streams": [
-                    {
-                        "dnn": s.dnn_name,
-                        "assignment": list(s.assignment),
-                    }
-                    for s in schedule.per_dnn
-                ],
-            }
-            for key, schedule in self._store.items()
+            "version": 2,
+            "stats": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "store_hits": self.store_hits,
+            },
+            "entries": {
+                key: schedule_to_payload(schedule)
+                for key, schedule in self._store.items()
+            },
         }
         Path(path).write_text(json.dumps(payload))
 
     @classmethod
     def load(cls, path: str | Path, scheduler: HaXCoNN) -> "ScheduleCache":
+        """Restore a snapshot (v1 flat files still load cleanly)."""
         cache = cls(scheduler)
         payload = json.loads(Path(path).read_text())
-        for key, entry in payload.items():
-            cache._store[key] = Schedule(
-                per_dnn=tuple(
-                    DNNSchedule(
-                        dnn_name=s["dnn"],
-                        assignment=tuple(s["assignment"]),
-                    )
-                    for s in entry["streams"]
-                ),
-                serialized=bool(entry["serialized"]),
-                meta={"scheduler": "cached"},
-            )
+        if "entries" in payload and payload.get("version") == 2:
+            entries = payload["entries"]
+            stats = payload.get("stats", {})
+            cache.hits = int(stats.get("hits", 0))
+            cache.misses = int(stats.get("misses", 0))
+            cache.store_hits = int(stats.get("store_hits", 0))
+        else:  # v1: the file *is* the entry dict
+            entries = payload
+        for key, entry in entries.items():
+            cache._store[key] = schedule_from_payload(entry)
         return cache

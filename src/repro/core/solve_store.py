@@ -1,0 +1,234 @@
+"""Persistent, content-addressed solve store (append-only JSONL).
+
+The serving fleet shares solve work across shard processes *and*
+across runs: every converged schedule and every exported
+evaluation-memo fragment lands in one on-disk store keyed by
+:func:`repro.core.schedule_cache.workload_signature`, so a cold shard
+(or a repeated benchmark run) starts with the incumbents and memo
+entries earlier runs already paid for.  Both record kinds hold *pure*
+values -- a stored schedule re-materializes bit-identically against a
+fresh formulation, and memo entries are bit-identical to recomputation
+(see :class:`repro.core.evalcache.MemoTable`) -- so the store is
+purely a speed channel: results never depend on whether it was warm.
+
+File format (one JSON object per line, documented in
+``docs/architecture.md`` section 6b):
+
+``{"v": 1, "kind": "schedule", "sig": <workload signature>,
+"id": "sha256:<hex>", "schedule": {"serialized": bool, "streams":
+[{"dnn": str, "assignment": [accel, ...]}, ...]}}``
+
+``{"v": 1, "kind": "memo", "sig": <workload signature>,
+"id": "sha256:<hex>", "entries": [[key, value], ...]}`` where ``key``
+is ``[[ [accel, ...], ... ], serialized, check_exclusive]`` and
+``value`` is ``["ok", [per_dnn...], objective, makespan, energy|null,
+iterations]`` or ``["bad", message]``.
+
+Records are content-addressed: ``id`` is the SHA-256 of the canonical
+(sorted-keys, compact) JSON of ``[kind, sig, body]``, and appends
+deduplicate on it, so replaying gossip deltas or re-running a
+benchmark never grows the file with duplicate records.  Appends are
+single-line and the loader tolerates malformed lines (a crash
+mid-append loses only the trailing record, never the store).  The
+fleet keeps a single writer -- the parent process -- so concurrent
+shard workers never interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+#: on-disk schema version stamped into every record
+SCHEMA_VERSION = 1
+
+
+def _record_id(kind: str, sig: str, body: Any) -> str:
+    """Content address of one record (order-independent for dicts)."""
+    blob = json.dumps(
+        [kind, sig, body], sort_keys=True, separators=(",", ":")
+    )
+    return "sha256:" + hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def memo_entry_to_json(key: Any, value: Any) -> list[Any]:
+    """One memo-table entry as a JSON-serializable pair.
+
+    Floats survive exactly: ``json`` emits ``repr``-round-trippable
+    literals, so a loaded entry is bit-identical to the stored one.
+    """
+    assign_key, serialized, check_exclusive = key
+    jkey = [
+        [list(group) for group in assign_key],
+        bool(serialized),
+        bool(check_exclusive),
+    ]
+    if value[0] == "ok":
+        _tag, per_dnn, objective, makespan, energy, iterations = value
+        jval: list[Any] = [
+            "ok",
+            [float(x) for x in per_dnn],
+            float(objective),
+            float(makespan),
+            None if energy is None else float(energy),
+            int(iterations),
+        ]
+    else:
+        jval = ["bad", str(value[1])]
+    return [jkey, jval]
+
+
+def memo_entry_from_json(item: Sequence[Any]) -> tuple[Any, Any]:
+    """Inverse of :func:`memo_entry_to_json` (exact round-trip)."""
+    jkey, jval = item
+    key = (
+        tuple(tuple(group) for group in jkey[0]),
+        bool(jkey[1]),
+        bool(jkey[2]),
+    )
+    if jval[0] == "ok":
+        value: tuple[Any, ...] = (
+            "ok",
+            tuple(float(x) for x in jval[1]),
+            float(jval[2]),
+            float(jval[3]),
+            None if jval[4] is None else float(jval[4]),
+            int(jval[5]),
+        )
+    else:
+        value = ("bad", str(jval[1]))
+    return key, value
+
+
+class SolveStore:
+    """Append-only, content-addressed store of solve artifacts.
+
+    ``readonly=True`` refuses appends (fleet shard workers receive the
+    store's *contents* through the gossip protocol instead of a file
+    handle; only the fleet parent writes).  The latest schedule record
+    per signature wins; memo records accumulate in file order.
+    """
+
+    def __init__(self, path: str | Path, *, readonly: bool = False) -> None:
+        self.path = Path(path)
+        self.readonly = readonly
+        #: content ids of every record seen (the dedup index)
+        self._ids: set[str] = set()
+        self._schedules: dict[str, dict[str, Any]] = {}
+        self._memo: dict[str, list[tuple[Any, Any]]] = {}
+        #: malformed lines skipped while loading (crash-tolerant tail)
+        self.skipped_lines = 0
+        if self.path.exists():
+            self._load()
+
+    # -- loading -------------------------------------------------------
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                self._adopt(record)
+            except (ValueError, KeyError, TypeError, IndexError):
+                # a torn append (crash mid-write) loses one record,
+                # never the store; count it so callers can report
+                self.skipped_lines += 1
+
+    def _adopt(self, record: Mapping[str, Any]) -> None:
+        kind, sig = str(record["kind"]), str(record["sig"])
+        rid = str(record["id"])
+        if rid in self._ids:
+            return
+        if kind == "schedule":
+            payload = record["schedule"]
+            # validate shape before adopting
+            entries = [
+                {
+                    "dnn": str(s["dnn"]),
+                    "assignment": [str(a) for a in s["assignment"]],
+                }
+                for s in payload["streams"]
+            ]
+            self._schedules[sig] = {
+                "serialized": bool(payload["serialized"]),
+                "streams": entries,
+            }
+        elif kind == "memo":
+            converted = [
+                memo_entry_from_json(item) for item in record["entries"]
+            ]
+            self._memo.setdefault(sig, []).extend(converted)
+        else:
+            raise KeyError(f"unknown record kind {kind!r}")
+        self._ids.add(rid)
+
+    # -- queries -------------------------------------------------------
+    def __len__(self) -> int:
+        """Number of distinct records adopted."""
+        return len(self._ids)
+
+    def signatures(self) -> tuple[str, ...]:
+        """Every signature with any stored artifact, sorted."""
+        return tuple(sorted(set(self._schedules) | set(self._memo)))
+
+    def schedules(self) -> dict[str, dict[str, Any]]:
+        """Latest schedule payload per signature."""
+        return dict(self._schedules)
+
+    def memo_for(self, sig: str) -> tuple[tuple[Any, Any], ...]:
+        """Accumulated memo entries for one signature, in file order."""
+        return tuple(self._memo.get(sig, ()))
+
+    # -- appends -------------------------------------------------------
+    def _append(self, kind: str, sig: str, field: str, body: Any) -> bool:
+        if self.readonly:
+            raise ValueError(f"solve store {self.path} is read-only")
+        rid = _record_id(kind, sig, body)
+        if rid in self._ids:
+            return False
+        record = {
+            "v": SCHEMA_VERSION,
+            "kind": kind,
+            "sig": sig,
+            "id": rid,
+            field: body,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record) + "\n")
+        self._adopt(record)
+        return True
+
+    def append_schedule(self, sig: str, payload: Mapping[str, Any]) -> bool:
+        """Record a schedule payload (see
+        :func:`repro.core.schedule_cache.schedule_to_payload`).
+        Returns False when the identical record is already stored."""
+        body = {
+            "serialized": bool(payload["serialized"]),
+            "streams": [
+                {
+                    "dnn": str(s["dnn"]),
+                    "assignment": [str(a) for a in s["assignment"]],
+                }
+                for s in payload["streams"]
+            ],
+        }
+        return self._append("schedule", sig, "schedule", body)
+
+    def append_memo(
+        self, sig: str, entries: Sequence[tuple[Any, Any]]
+    ) -> bool:
+        """Record a batch of memo-table entries for one signature."""
+        if not entries:
+            return False
+        body = [memo_entry_to_json(key, value) for key, value in entries]
+        return self._append("memo", sig, "entries", body)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SolveStore {self.path} {len(self._ids)} records, "
+            f"{len(self._schedules)} schedules, "
+            f"{sum(len(v) for v in self._memo.values())} memo entries>"
+        )

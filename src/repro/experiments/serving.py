@@ -17,8 +17,12 @@ the policies only ever see decoupled profiles and predictions.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.core.haxconn import HaXCoNN
+from repro.core.solve_store import SolveStore
 from repro.experiments.common import format_table, get_db
+from repro.serve.fleet import Fleet, ShardedFleetReport
 from repro.serve.policy import (
     CachedAnytimePolicy,
     ServingPolicy,
@@ -152,6 +156,143 @@ def run(
     return rows
 
 
+# -- the sharded fleet scenario ---------------------------------------
+
+#: update points matched to serving-round phase time (milliseconds of
+#: phase per round), so anytime phases converge within a short run
+FLEET_UPDATE_POINTS = (0.002, 0.005, 0.01, 0.02, 0.05)
+
+
+def fleet_tenants(*, rate_hz: float = 300.0, slo_s: float = 0.5) -> list[Tenant]:
+    """Four heavy single-model tenants under sustained backlog.
+
+    The regime where sharding pays on a single machine: one shard must
+    co-schedule the joint four-stream mix (an expensive solve), while a
+    four-shard fleet solves four cheap single-stream mixes.
+    """
+    models = ("resnet50", "vgg16", "googlenet", "resnet18")
+    return [
+        Tenant.of(
+            f"t{k}-{model}",
+            model,
+            arrivals=PoissonArrivals(rate_hz, seed=100 + k),
+            slo_s=slo_s,
+        )
+        for k, model in enumerate(models)
+    ]
+
+
+def make_fleet_policy_factory(
+    platform_name: str,
+    *,
+    max_groups: int | None = 8,
+    max_transitions: int = 2,
+    node_budget: int = 1500,
+) -> Callable[[int], ServingPolicy]:
+    """Per-shard policy factory for a deterministic fleet.
+
+    The scheduler runs the portfolio under its ``nodes`` clock so
+    incumbents carry virtual timestamps -- the fleet's cross-backend
+    byte-identity needs swap decisions that do not depend on wall
+    time.  The factory is called inside each worker (fork / thread /
+    serial), which all inherit the one shared profile database.
+    """
+    platform = get_platform(platform_name)
+    db = get_db(platform_name)
+
+    def factory(shard_id: int) -> ServingPolicy:
+        scheduler = HaXCoNN(
+            platform,
+            db=db,
+            max_groups=max_groups,
+            max_transitions=max_transitions,
+            solver="portfolio",
+            solver_workers=2,
+            solver_backend="serial",
+            solver_clock="nodes",
+            node_budget=node_budget,
+        )
+        return CachedAnytimePolicy(
+            scheduler, update_points=FLEET_UPDATE_POINTS
+        )
+
+    return factory
+
+
+def run_fleet(
+    platform_name: str = "xavier",
+    *,
+    horizon_s: float = 0.12,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    backend: str = "auto",
+    store: SolveStore | None = None,
+    sync_rounds: int = 4,
+) -> list[dict[str, object]]:
+    """Fleet scaling rows: the same tenant population served by
+    1..N shards, sharing solves through gossip and ``store``."""
+    platform = get_platform(platform_name)
+    factory = make_fleet_policy_factory(platform_name)
+    rows: list[dict[str, object]] = []
+    for shards in shard_counts:
+        fleet = Fleet(
+            platform,
+            fleet_tenants(),
+            factory,
+            shards=shards,
+            backend=backend,
+            router="balanced",
+            sync_rounds=sync_rounds,
+            store=store,
+        )
+        rows.append(fleet_row(fleet.run(horizon_s=horizon_s)))
+    return rows
+
+
+def fleet_row(report: ShardedFleetReport) -> dict[str, object]:
+    """One fleet run as a summary-table row (the ``haxconn serve``
+    fleet columns)."""
+    ttf = report.time_to_first_hax_s()
+    return {
+        "shards": report.shards,
+        "backend": report.backend,
+        "served": report.served,
+        "shed": report.shed,
+        "p50_ms": report.p50_ms if report.served else None,
+        "p99_ms": report.p99_ms if report.served else None,
+        "rounds": report.rounds,
+        "solves": report.solves,
+        "store_hits": report.store_hits,
+        "wall_ms": report.wall_s * 1e3,
+        "tput_rps": report.throughput_rps,
+        "ttf_hax_ms": None if ttf is None else ttf * 1e3,
+    }
+
+
+FLEET_COLUMNS = (
+    "shards",
+    "backend",
+    "served",
+    "shed",
+    "p50_ms",
+    "p99_ms",
+    "rounds",
+    "solves",
+    "store_hits",
+    "wall_ms",
+    "tput_rps",
+    "ttf_hax_ms",
+)
+
+
+def format_fleet_results(rows: list[dict[str, object]]) -> str:
+    return format_table(
+        rows,
+        list(FLEET_COLUMNS),
+        title="Serving fleet: shard scaling on one machine "
+        "(shared solve store + epoch gossip)",
+    )
+
+
 def format_results(rows: list[dict[str, object]]) -> str:
     return format_table(
         rows,
@@ -178,3 +319,5 @@ def format_results(rows: list[dict[str, object]]) -> str:
 
 if __name__ == "__main__":
     print(format_results(run()))
+    print()
+    print(format_fleet_results(run_fleet()))

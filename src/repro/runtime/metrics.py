@@ -103,6 +103,21 @@ def goodput_rps(good_count: int, span_s: float) -> float:
     return good_count / span_s
 
 
+def throughput_rps(count: int, wall_s: float) -> float:
+    """Completions per *wall-clock* second.
+
+    The fleet benchmark's unit: unlike :func:`goodput_rps` (which
+    divides by the virtual serving span), this measures how fast the
+    serving system itself ran -- sharding shrinks per-shard solve
+    sizes, so the same virtual trace completes in less wall time.
+    """
+    if count < 0:
+        raise ValueError("count must be >= 0")
+    if wall_s <= 0:
+        return float("inf") if count else 0.0
+    return count / wall_s
+
+
 def utilization(busy_s: float, span_s: float) -> float:
     """Busy fraction of a resource over a span, clamped to [0, 1]."""
     if busy_s < 0 or span_s < 0:

@@ -23,9 +23,25 @@ def timeline_to_trace_events(
     timeline: Timeline,
     *,
     stream_names: Sequence[str] | None = None,
+    pid: int = _PID,
+    process_name: str | None = None,
 ) -> list[dict[str, object]]:
-    """Convert a timeline to a list of trace-event dicts."""
+    """Convert a timeline to a list of trace-event dicts.
+
+    ``pid`` / ``process_name`` place the events on their own process
+    row -- the serving fleet exports one row per shard in its merged
+    trace.
+    """
     events: list[dict[str, object]] = []
+    if process_name is not None:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",  # metadata
+                "pid": pid,
+                "args": {"name": process_name},
+            }
+        )
     accel_tid = {}
     for record in timeline.records:
         tid = accel_tid.setdefault(record.accel, len(accel_tid) + 1)
@@ -47,7 +63,7 @@ def timeline_to_trace_events(
                 "ph": "X",  # complete event
                 "ts": record.start * 1e6,  # microseconds
                 "dur": record.duration * 1e6,
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {
                     "stream": stream,
@@ -61,7 +77,7 @@ def timeline_to_trace_events(
             {
                 "name": "thread_name",
                 "ph": "M",  # metadata
-                "pid": _PID,
+                "pid": pid,
                 "tid": tid,
                 "args": {"name": accel},
             }
@@ -73,7 +89,7 @@ def timeline_to_trace_events(
                 "name": "EMC bandwidth (GB/s)",
                 "ph": "C",
                 "ts": interval.start * 1e6,
-                "pid": _PID,
+                "pid": pid,
                 "args": {
                     task: round(bw / 1e9, 2)
                     for task, bw in interval.allocations.items()
@@ -83,18 +99,36 @@ def timeline_to_trace_events(
     return events
 
 
+def write_trace_events(
+    events: Sequence[dict[str, object]], path: str | Path
+) -> Path:
+    """Write pre-built trace events as one Chrome/Perfetto JSON file.
+
+    The fleet's merged export concatenates per-shard event lists (one
+    pid per shard) and writes them through here.
+    """
+    path = Path(path)
+    path.write_text(
+        json.dumps(
+            {"traceEvents": list(events), "displayTimeUnit": "ms"}
+        )
+    )
+    return path
+
+
 def export_chrome_trace(
     timeline: Timeline,
     path: str | Path,
     *,
     stream_names: Sequence[str] | None = None,
+    pid: int = _PID,
+    process_name: str | None = None,
 ) -> Path:
     """Write the timeline as a Chrome/Perfetto-loadable JSON file."""
-    path = Path(path)
     events = timeline_to_trace_events(
-        timeline, stream_names=stream_names
+        timeline,
+        stream_names=stream_names,
+        pid=pid,
+        process_name=process_name,
     )
-    path.write_text(
-        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"})
-    )
-    return path
+    return write_trace_events(events, path)

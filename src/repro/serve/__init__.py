@@ -20,9 +20,20 @@ latency comes from executing rounds on the discrete-event simulator.
 - :mod:`repro.serve.server` -- the event-driven serving loop on
   simulator virtual time,
 - :mod:`repro.serve.slo` -- per-tenant and fleet SLO metrics plus
-  Chrome-trace export of a full serving run.
+  Chrome-trace export of a full serving run,
+- :mod:`repro.serve.fleet` -- the sharded multi-process serving fleet
+  (deterministic tenant routing, epoch gossip, persistent solve
+  store).
 """
 
+from repro.serve.fleet import (
+    Fleet,
+    ShardedFleetReport,
+    ShardOutcome,
+    ShardRouter,
+    serve_fleet,
+    stable_shard,
+)
 from repro.serve.policy import (
     CachedAnytimePolicy,
     ServingPolicy,
@@ -40,13 +51,14 @@ from repro.serve.requests import (
     TraceArrivals,
     generate_requests,
 )
-from repro.serve.server import RoundRecord, Server
+from repro.serve.server import RoundRecord, Server, ServingSession
 from repro.serve.slo import FleetReport, ServedRequest, TenantStats
 
 __all__ = [
     "ArrivalProcess",
     "BurstyArrivals",
     "CachedAnytimePolicy",
+    "Fleet",
     "FleetReport",
     "PeriodicArrivals",
     "PoissonArrivals",
@@ -55,6 +67,10 @@ __all__ = [
     "ServedRequest",
     "Server",
     "ServingPolicy",
+    "ServingSession",
+    "ShardOutcome",
+    "ShardRouter",
+    "ShardedFleetReport",
     "StaticPolicy",
     "Tenant",
     "TenantStats",
@@ -62,4 +78,6 @@ __all__ = [
     "generate_requests",
     "gpu_only_policy",
     "naive_policy",
+    "serve_fleet",
+    "stable_shard",
 ]

@@ -1,0 +1,818 @@
+"""Sharded multi-process serving fleet with cross-shard solve gossip.
+
+One :class:`~repro.serve.server.Server` is a single serial event loop;
+the fleet runs ``N`` server replicas in worker processes behind a
+deterministic tenant->shard router, so served-request throughput stops
+being capped by one loop.  Shards share solve work two ways:
+
+* **epoch gossip** -- shards synchronize at fixed round-count
+  intervals (``sync_rounds``), exactly like the solver portfolio's
+  lockstep epochs: every alive shard posts the solve artifacts it
+  published this epoch (converged schedules, evaluation-memo
+  fragments -- the :class:`~repro.solver.portfolio.SharedEvalState`
+  piggyback protocol, spoken by
+  :meth:`~repro.serve.policy.ServingPolicy.export_delta` /
+  :meth:`~repro.serve.policy.ServingPolicy.merge`), the parent merges
+  the deltas in shard-index order and broadcasts the epoch union back;
+* **the persistent solve store** -- the parent seeds every shard with
+  the store's schedules and memo fragments before the first round and
+  appends each epoch's gossip union to disk
+  (:class:`~repro.core.solve_store.SolveStore`; the parent is the
+  single writer, so fork workers never interleave partial lines).
+
+Determinism contract (the fleet extension of the portfolio's): a
+shard's :class:`~repro.serve.slo.FleetReport` is a pure function of
+its seeded arrival stream, its policy configuration, and the broadcast
+sequence it receives at its epoch boundaries.  Epochs are counted in
+*rounds* (virtual time), never wall-clock, and the parent collects
+every alive shard's epoch-``k`` message before broadcasting the
+epoch-``k`` union, so the broadcast sequence is independent of how
+fast any shard happens to run.  At a fixed seed a shard's report is
+therefore byte-identical across the fork / thread / serial backends
+(provided the policy itself is deterministic -- e.g. the portfolio
+solver under its ``nodes`` clock).  Wall-clock only appears in
+telemetry fields (:attr:`ShardOutcome.wall_s`,
+:attr:`ShardOutcome.first_hax_wall_s`) that stay out of the report.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.solve_store import SolveStore
+from repro.runtime import metrics
+from repro.runtime.trace import timeline_to_trace_events, write_trace_events
+from repro.serve.policy import ServingPolicy
+from repro.serve.requests import Tenant, generate_requests
+from repro.serve.server import Server, ServingSession
+from repro.serve.slo import FleetReport
+from repro.soc.platform import Platform, get_platform
+from repro.solver.clock import monotonic_s
+
+#: message tags on the shard -> parent queue (portfolio discipline)
+_SYNC, _DONE, _ERROR = "sync", "done", "error"
+
+#: backends, mirroring ``solver.portfolio`` (``thread`` and
+#: ``threads`` are accepted interchangeably)
+BACKENDS = ("auto", "fork", "thread", "serial")
+
+
+def stable_shard(name: str, shards: int) -> int:
+    """Process-independent tenant-name hash in ``range(shards)``.
+
+    The builtin ``hash`` is salted per process, so it would route the
+    same tenant differently in every worker; CRC-32 is stable across
+    processes, platforms, and Python versions.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    return zlib.crc32(name.encode("utf-8")) % shards
+
+
+class ShardRouter:
+    """Deterministic tenant -> shard assignment.
+
+    ``hash`` mode routes each tenant by :func:`stable_shard` -- the
+    placement a stateless frontend can compute with no coordination.
+    ``balanced`` mode is the optional least-backlog rebalancer: it
+    weighs each tenant by its *expected* request count within the
+    horizon (seeded arrival processes are pure, so the weight is
+    deterministic) and assigns heaviest-first to the least-loaded
+    shard, ties to the lowest shard index.
+    """
+
+    def __init__(self, shards: int, *, mode: str = "hash") -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if mode not in ("hash", "balanced"):
+            raise ValueError(
+                f"unknown router mode {mode!r}; expected hash or balanced"
+            )
+        self.shards = shards
+        self.mode = mode
+
+    def shard_of(self, tenant_name: str) -> int:
+        """Hash placement of one tenant (``hash`` mode's routing)."""
+        return stable_shard(tenant_name, self.shards)
+
+    def assign(
+        self,
+        tenants: Sequence[Tenant],
+        *,
+        horizon_s: float | None = None,
+        max_requests: int = 10_000,
+    ) -> list[list[Tenant]]:
+        """Partition ``tenants`` into ``shards`` buckets.
+
+        ``balanced`` mode needs ``horizon_s`` to weigh tenants; some
+        buckets may come back empty (fewer tenants than shards).
+        """
+        out: list[list[Tenant]] = [[] for _ in range(self.shards)]
+        if self.mode == "hash":
+            for tenant in tenants:
+                out[self.shard_of(tenant.name)].append(tenant)
+            return out
+        if horizon_s is None:
+            raise ValueError("balanced routing needs horizon_s")
+        by_name = {t.name: t for t in tenants}
+        weighted = sorted(
+            (
+                (
+                    -len(
+                        generate_requests(
+                            [t],
+                            horizon_s=horizon_s,
+                            max_per_tenant=max_requests,
+                        )
+                    ),
+                    t.name,
+                )
+                for t in tenants
+            ),
+        )
+        loads = [0] * self.shards
+        for negative_count, name in weighted:
+            target = min(range(self.shards), key=lambda s: (loads[s], s))
+            loads[target] += -negative_count
+            out[target].append(by_name[name])
+        return out
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's results: the byte-stable report plus telemetry."""
+
+    index: int
+    tenants: tuple[str, ...]
+    report: FleetReport
+    #: deterministic round index of the first HaX-CoNN-family dispatch
+    first_hax_round: int | None
+    #: wall-clock seconds to that dispatch (telemetry; excluded from
+    #: the report and from cross-backend identity)
+    first_hax_wall_s: float | None
+    #: wall-clock seconds this shard spent serving (telemetry)
+    wall_s: float
+
+    @property
+    def served(self) -> int:
+        return len(self.report.served)
+
+    @property
+    def shed(self) -> int:
+        return len(self.report.rejected)
+
+    @property
+    def routed(self) -> int:
+        """Requests the router placed on this shard (served + shed)."""
+        return len(self.report.requests)
+
+
+def _empty_outcome(index: int) -> ShardOutcome:
+    """Outcome for a shard the router left without tenants.
+
+    Built identically by every backend (no worker runs), so empty
+    shards preserve the cross-backend byte-identity of the fleet."""
+    report = FleetReport(
+        [], [], tenant_slos={}, policy_stats={"policy": "idle"}
+    )
+    return ShardOutcome(
+        index=index,
+        tenants=(),
+        report=report,
+        first_hax_round=None,
+        first_hax_wall_s=None,
+        wall_s=0.0,
+    )
+
+
+@dataclass(frozen=True)
+class _ShardConfig:
+    """Picklable per-shard serving parameters."""
+
+    horizon_s: float
+    max_requests: int
+    max_batch: int
+    objective: str
+    contention: bool
+    sync_rounds: int
+    gossip_limit: int
+
+
+def _shard_outcome(
+    shard_id: int,
+    tenants: Sequence[Tenant],
+    session: ServingSession,
+    wall_start: float,
+) -> ShardOutcome:
+    return ShardOutcome(
+        index=shard_id,
+        tenants=tuple(t.name for t in tenants),
+        report=session.report(),
+        first_hax_round=session.first_hax_round,
+        first_hax_wall_s=session.first_hax_wall_s,
+        wall_s=monotonic_s() - wall_start,
+    )
+
+
+def _run_shard(
+    platform: Platform,
+    tenants: Sequence[Tenant],
+    policy_factory: Callable[[int], ServingPolicy],
+    initial_delta: tuple[Any, ...],
+    config: _ShardConfig,
+    inbox: Any,
+    outbox: Any,
+    shard_id: int,
+) -> None:
+    """Shard worker: serve in lockstep epochs, gossiping solve deltas.
+
+    Mirrors ``solver.portfolio._run_worker``: run ``sync_rounds``
+    rounds, post this epoch's delta, block for the parent's broadcast,
+    merge it, repeat.  The policy and server are built *inside* the
+    worker from the factory so fork, thread, and serial shards all
+    start from an identical fresh state (under fork the factory's
+    closed-over profile database is inherited copy-on-write, so no
+    shard re-profiles).
+    """
+    try:
+        policy = policy_factory(shard_id)
+        policy.merge(initial_delta)
+        server = Server(
+            platform,
+            tenants,
+            policy,
+            max_batch=config.max_batch,
+            objective=config.objective,
+            contention=config.contention,
+        )
+        wall_start = monotonic_s()
+        session = server.session(
+            horizon_s=config.horizon_s, max_requests=config.max_requests
+        )
+        while True:
+            session.run_rounds(config.sync_rounds)
+            delta = policy.export_delta(limit=config.gossip_limit)
+            if session.finished:
+                outbox.put(
+                    (
+                        _DONE,
+                        shard_id,
+                        delta,
+                        _shard_outcome(
+                            shard_id, tenants, session, wall_start
+                        ),
+                    )
+                )
+                return
+            outbox.put((_SYNC, shard_id, delta))
+            reply = inbox.get()
+            if reply[0] == "stop":  # a peer failed: report and exit
+                outbox.put(
+                    (
+                        _DONE,
+                        shard_id,
+                        (),
+                        _shard_outcome(
+                            shard_id, tenants, session, wall_start
+                        ),
+                    )
+                )
+                return
+            policy.merge(reply[1])
+    except Exception as exc:  # surfaced by the parent, in shard order
+        outbox.put((_ERROR, shard_id, repr(exc)))
+
+
+class ShardedFleetReport:
+    """Aggregate view over every shard's outcome for one fleet run."""
+
+    def __init__(
+        self,
+        outcomes: Sequence[ShardOutcome],
+        *,
+        backend: str,
+        router: str,
+        wall_s: float,
+        store: SolveStore | None = None,
+    ) -> None:
+        self.outcomes = tuple(
+            sorted(outcomes, key=lambda o: o.index)
+        )
+        self.backend = backend
+        self.router = router
+        self.wall_s = wall_s
+        self.store_path = None if store is None else store.path
+
+    # -- aggregates ----------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def served(self) -> int:
+        return sum(o.served for o in self.outcomes)
+
+    @property
+    def shed(self) -> int:
+        return sum(o.shed for o in self.outcomes)
+
+    @property
+    def rounds(self) -> int:
+        return sum(len(o.report.rounds) for o in self.outcomes)
+
+    @property
+    def throughput_rps(self) -> float:
+        """Served requests per wall-clock second of the whole run."""
+        return metrics.throughput_rps(self.served, self.wall_s)
+
+    def latencies_s(self) -> list[float]:
+        return [
+            r.latency_s
+            for o in self.outcomes
+            for r in o.report.served
+        ]
+
+    @property
+    def p50_ms(self) -> float:
+        return metrics.percentile_ms(self.latencies_s(), 50)
+
+    @property
+    def p99_ms(self) -> float:
+        return metrics.percentile_ms(self.latencies_s(), 99)
+
+    @property
+    def store_hits(self) -> int:
+        """Cache hits answered by solve-store entries, fleet-wide."""
+        return sum(
+            int(_stat(o.report.policy_stats, "store_hits"))
+            for o in self.outcomes
+        )
+
+    @property
+    def solves(self) -> int:
+        return sum(
+            int(_stat(o.report.policy_stats, "solves"))
+            for o in self.outcomes
+        )
+
+    def time_to_first_hax_s(self) -> float | None:
+        """Worst-case (max) wall-clock time-to-first-HaX-CoNN-incumbent
+        across shards that dispatched one; None if none did."""
+        times = [
+            o.first_hax_wall_s
+            for o in self.outcomes
+            if o.first_hax_wall_s is not None
+        ]
+        return max(times) if times else None
+
+    def describe_shards(self) -> tuple[str, ...]:
+        """Per-shard report texts, the cross-backend identity unit."""
+        return tuple(o.report.describe() for o in self.outcomes)
+
+    # -- presentation ---------------------------------------------------
+    def describe(self) -> str:
+        """Fleet-level summary table (per-shard rows + fleet line).
+
+        Percentiles and rates go through :mod:`repro.runtime.metrics`
+        like every other summary in the repo.
+        """
+        header = (
+            f"{'shard':>5s} {'tenants':24s} {'routed':>6s} "
+            f"{'served':>6s} {'shed':>5s} {'p50':>9s} {'p99':>9s} "
+            f"{'goodput':>8s} {'rounds':>6s} {'solves':>6s} "
+            f"{'store':>5s}"
+        )
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            stats = o.report.policy_stats
+            names = ",".join(o.tenants) if o.tenants else "-"
+            if o.served:
+                p50 = f"{o.report.p50_ms:7.2f}ms"
+                p99 = f"{o.report.p99_ms:7.2f}ms"
+                goodput = f"{o.report.goodput_rps:6.1f}/s"
+            else:
+                p50, p99, goodput = "-".rjust(9), "-".rjust(9), "-".rjust(8)
+            lines.append(
+                f"{o.index:5d} {names[:24]:24s} {o.routed:6d} "
+                f"{o.served:6d} {o.shed:5d} {p50:>9s} {p99:>9s} "
+                f"{goodput:>8s} {len(o.report.rounds):6d} "
+                f"{int(_stat(stats, 'solves')):6d} "
+                f"{int(_stat(stats, 'store_hits')):5d}"
+            )
+        lines.append(
+            f"fleet: {self.shards} shards ({self.backend} backend, "
+            f"{self.router} routing), {self.served} served / "
+            f"{self.shed} shed in {self.rounds} rounds; "
+            f"{self.solves} solves, {self.store_hits} store hits; "
+            f"{self.wall_s * 1e3:.0f} ms wall, "
+            f"{self.throughput_rps:.1f} req/s"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedFleetReport {self.shards} shards "
+            f"({self.backend}), {self.served} served, "
+            f"{self.shed} shed, {self.wall_s * 1e3:.1f} ms wall>"
+        )
+
+    # -- export --------------------------------------------------------
+    def export_chrome_trace(self, path: str | Path) -> Path:
+        """Merged Chrome trace: one process row per shard."""
+        events: list[dict[str, object]] = []
+        for o in self.outcomes:
+            names = ",".join(o.tenants) if o.tenants else "idle"
+            events.extend(
+                timeline_to_trace_events(
+                    o.report.merged_timeline(),
+                    pid=o.index + 1,
+                    process_name=f"shard {o.index} [{names}]",
+                )
+            )
+        return write_trace_events(events, path)
+
+
+def _stat(stats: Mapping[str, object], key: str) -> float:
+    value = stats.get(key, 0)
+    return float(value) if isinstance(value, (int, float)) else 0.0
+
+
+class Fleet:
+    """N server replicas behind a deterministic router.
+
+    Parameters
+    ----------
+    platform:
+        The simulated SoC every shard serves on.
+    tenants:
+        The full tenant population; the router partitions it.
+    policy_factory:
+        ``shard_index -> ServingPolicy``; called *inside* each worker
+        so every backend builds identical fresh policies.  For
+        cross-backend byte-identity the produced policy must itself be
+        deterministic (e.g. :class:`CachedAnytimePolicy` over a
+        portfolio scheduler with ``solver_clock="nodes"``).
+    shards:
+        Replica count.
+    backend:
+        ``fork`` (worker processes; requires the fork start method),
+        ``thread``, ``serial`` (in-process lockstep emulation, the CI
+        smoke backend), or ``auto`` (fork when available, else
+        thread).
+    router:
+        ``hash`` / ``balanced`` or a :class:`ShardRouter`.
+    sync_rounds:
+        Rounds each shard serves between gossip epochs.
+    store:
+        Optional :class:`SolveStore`: its contents seed every shard
+        before the first round, and (when writable) the parent appends
+        each epoch's gossip union -- single-writer by construction.
+    """
+
+    def __init__(
+        self,
+        platform: Platform | str,
+        tenants: Sequence[Tenant],
+        policy_factory: Callable[[int], ServingPolicy],
+        *,
+        shards: int,
+        backend: str = "auto",
+        router: ShardRouter | str = "hash",
+        max_batch: int = 1,
+        objective: str = "latency",
+        contention: bool = True,
+        sync_rounds: int = 8,
+        gossip_limit: int = 256,
+        store: SolveStore | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if sync_rounds < 1:
+            raise ValueError("sync_rounds must be >= 1")
+        if gossip_limit < 1:
+            raise ValueError("gossip_limit must be >= 1")
+        normalized = "thread" if backend == "threads" else backend
+        if normalized not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        names = [t.name for t in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names: {names}")
+        self.platform = (
+            get_platform(platform) if isinstance(platform, str) else platform
+        )
+        self.tenants = tuple(tenants)
+        self.policy_factory = policy_factory
+        self.shards = shards
+        self.backend = normalized
+        self.router = (
+            router
+            if isinstance(router, ShardRouter)
+            else ShardRouter(shards, mode=router)
+        )
+        if self.router.shards != shards:
+            raise ValueError("router shard count must match the fleet's")
+        self.max_batch = max_batch
+        self.objective = objective
+        self.contention = contention
+        self.sync_rounds = sync_rounds
+        self.gossip_limit = gossip_limit
+        self.store = store
+
+    # ------------------------------------------------------------------
+    def _resolve_backend(self) -> str:
+        if self.backend != "auto":
+            if (
+                self.backend == "fork"
+                and "fork" not in multiprocessing.get_all_start_methods()
+            ):
+                raise ValueError("fork start method unavailable")
+            return self.backend
+        if self.shards == 1:
+            return "serial"
+        if "fork" in multiprocessing.get_all_start_methods():
+            return "fork"
+        return "thread"
+
+    def _initial_delta(self) -> tuple[Any, ...]:
+        """The solve store's contents as one gossip delta.
+
+        Workers receive artifacts through the same ``merge`` path as
+        epoch gossip -- they never touch the store file, which keeps
+        the parent the single writer.
+        """
+        if self.store is None:
+            return ()
+        items: list[Any] = [
+            ("sched-store", sig, payload)
+            for sig, payload in sorted(self.store.schedules().items())
+        ]
+        for sig in self.store.signatures():
+            entries = self.store.memo_for(sig)
+            if entries:
+                items.append(("memo", sig, entries))
+        return tuple(items)
+
+    def _append_store(self, delta: Sequence[Any]) -> None:
+        """Persist one epoch's gossip union (parent-side, writable
+        stores only; content addressing makes replays free)."""
+        if self.store is None or self.store.readonly:
+            return
+        for item in delta:
+            kind = item[0]
+            if kind == "sched":
+                self.store.append_schedule(item[1], item[2])
+            elif kind == "memo":
+                self.store.append_memo(item[1], item[2])
+
+    # ------------------------------------------------------------------
+    def run(
+        self, *, horizon_s: float, max_requests: int = 10_000
+    ) -> ShardedFleetReport:
+        """Serve every request within ``horizon_s`` across all shards."""
+        start = monotonic_s()
+        backend = self._resolve_backend()
+        assignment = self.router.assign(
+            self.tenants, horizon_s=horizon_s, max_requests=max_requests
+        )
+        config = _ShardConfig(
+            horizon_s=horizon_s,
+            max_requests=max_requests,
+            max_batch=self.max_batch,
+            objective=self.objective,
+            contention=self.contention,
+            sync_rounds=self.sync_rounds,
+            gossip_limit=self.gossip_limit,
+        )
+        initial = self._initial_delta()
+        live = [
+            (sid, bucket)
+            for sid, bucket in enumerate(assignment)
+            if bucket
+        ]
+        if backend == "serial":
+            outcomes = self._run_serial(live, initial, config)
+        else:
+            outcomes = self._run_parallel(live, initial, config, backend)
+        for sid, bucket in enumerate(assignment):
+            if not bucket:
+                outcomes[sid] = _empty_outcome(sid)
+        return ShardedFleetReport(
+            [outcomes[sid] for sid in sorted(outcomes)],
+            backend=backend,
+            router=self.router.mode,
+            wall_s=monotonic_s() - start,
+            store=self.store,
+        )
+
+    # -- serial backend: in-process lockstep emulation ------------------
+    def _run_serial(
+        self,
+        live: Sequence[tuple[int, list[Tenant]]],
+        initial: tuple[Any, ...],
+        config: _ShardConfig,
+    ) -> dict[int, ShardOutcome]:
+        """Run every shard in-process, epoch by epoch.
+
+        Exactly the parallel protocol with the worker loop inlined:
+        every alive shard serves its epoch, deltas merge in shard
+        order, the union applies to the shards still running -- so the
+        broadcast sequence each shard observes matches the fork and
+        thread backends message for message.
+        """
+        shards: dict[int, tuple[ServingSession, ServingPolicy, float]] = {}
+        for sid, bucket in live:
+            try:
+                policy = self.policy_factory(sid)
+                policy.merge(initial)
+                server = Server(
+                    self.platform,
+                    bucket,
+                    policy,
+                    max_batch=config.max_batch,
+                    objective=config.objective,
+                    contention=config.contention,
+                )
+                wall_start = monotonic_s()
+                session = server.session(
+                    horizon_s=config.horizon_s,
+                    max_requests=config.max_requests,
+                )
+            except Exception as exc:
+                # same surface as a failed fork/thread worker
+                raise RuntimeError(
+                    f"fleet shard {sid} failed: {exc!r}"
+                ) from exc
+            shards[sid] = (session, policy, wall_start)
+        tenants_of = {sid: bucket for sid, bucket in live}
+        outcomes: dict[int, ShardOutcome] = {}
+        alive = sorted(shards)
+        while alive:
+            epoch_deltas: list[Any] = []
+            finished: list[int] = []
+            for sid in alive:
+                session, policy, wall_start = shards[sid]
+                try:
+                    session.run_rounds(config.sync_rounds)
+                    epoch_deltas.extend(
+                        policy.export_delta(limit=config.gossip_limit)
+                    )
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"fleet shard {sid} failed: {exc!r}"
+                    ) from exc
+                if session.finished:
+                    outcomes[sid] = _shard_outcome(
+                        sid, tenants_of[sid], session, wall_start
+                    )
+                    finished.append(sid)
+            self._append_store(epoch_deltas)
+            broadcast = tuple(epoch_deltas)
+            alive = [sid for sid in alive if sid not in finished]
+            for sid in alive:
+                shards[sid][1].merge(broadcast)
+        return outcomes
+
+    # -- fork / thread backends: lockstep epoch workers ------------------
+    def _run_parallel(
+        self,
+        live: Sequence[tuple[int, list[Tenant]]],
+        initial: tuple[Any, ...],
+        config: _ShardConfig,
+        backend: str,
+    ) -> dict[int, ShardOutcome]:
+        if backend == "fork":
+            ctx = multiprocessing.get_context("fork")
+            inboxes = {sid: ctx.SimpleQueue() for sid, _ in live}
+            outboxes = {sid: ctx.SimpleQueue() for sid, _ in live}
+            runners = [
+                ctx.Process(
+                    target=_run_shard,
+                    args=(
+                        self.platform,
+                        bucket,
+                        self.policy_factory,
+                        initial,
+                        config,
+                        inboxes[sid],
+                        outboxes[sid],
+                        sid,
+                    ),
+                    daemon=True,
+                )
+                for sid, bucket in live
+            ]
+        else:
+            inboxes = {sid: queue.SimpleQueue() for sid, _ in live}
+            outboxes = {sid: queue.SimpleQueue() for sid, _ in live}
+            runners = [
+                threading.Thread(
+                    target=_run_shard,
+                    args=(
+                        self.platform,
+                        bucket,
+                        self.policy_factory,
+                        initial,
+                        config,
+                        inboxes[sid],
+                        outboxes[sid],
+                        sid,
+                    ),
+                    daemon=True,
+                )
+                for sid, bucket in live
+            ]
+        for r in runners:
+            r.start()
+
+        outcomes: dict[int, ShardOutcome] = {}
+        alive = {sid for sid, _ in live}
+        error: tuple[int, str] | None = None
+
+        def consume(msg: tuple[Any, ...]) -> int | None:
+            """Merge one shard message; return sid when it finished."""
+            nonlocal error
+            kind, sid = msg[0], msg[1]
+            if kind == _ERROR:
+                if error is None:
+                    error = (sid, msg[2])
+                return sid
+            epoch_deltas.extend(msg[2])
+            if kind == _DONE:
+                outcomes[sid] = msg[3]
+                return sid
+            return None
+
+        try:
+            while alive:
+                epoch_deltas: list[Any] = []
+                finished = []
+                for sid in sorted(alive):
+                    done_sid = consume(outboxes[sid].get())
+                    if done_sid is not None:
+                        finished.append(done_sid)
+                for sid in finished:
+                    alive.discard(sid)
+                self._append_store(epoch_deltas)
+                stop = error is not None
+                broadcast = tuple(epoch_deltas)
+                for sid in sorted(alive):
+                    inboxes[sid].put(
+                        ("stop",) if stop else ("delta", broadcast)
+                    )
+                if stop:
+                    for sid in sorted(alive):
+                        while sid in alive:
+                            if consume(outboxes[sid].get()) is not None:
+                                alive.discard(sid)
+                    break
+        finally:
+            for r in runners:
+                r.join(timeout=10.0)
+            if backend == "fork":
+                for r in runners:
+                    if r.is_alive():
+                        r.terminate()
+
+        if error is not None:
+            sid, message = error
+            raise RuntimeError(f"fleet shard {sid} failed: {message}")
+        return outcomes
+
+
+def serve_fleet(
+    platform: Platform | str,
+    tenants: Sequence[Tenant],
+    policy_factory: Callable[[int], ServingPolicy],
+    *,
+    shards: int,
+    horizon_s: float,
+    backend: str = "auto",
+    router: ShardRouter | str = "hash",
+    max_batch: int = 1,
+    contention: bool = True,
+    sync_rounds: int = 8,
+    store: SolveStore | None = None,
+    max_requests: int = 10_000,
+) -> ShardedFleetReport:
+    """One-call convenience wrapper around :class:`Fleet`."""
+    fleet = Fleet(
+        platform,
+        tenants,
+        policy_factory,
+        shards=shards,
+        backend=backend,
+        router=router,
+        max_batch=max_batch,
+        contention=contention,
+        sync_rounds=sync_rounds,
+        store=store,
+    )
+    return fleet.run(horizon_s=horizon_s, max_requests=max_requests)

@@ -23,15 +23,21 @@ simulator.  Measured numbers come from the server executing rounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.core.baselines import gpu_only, naive_concurrent
 from repro.core.dynamic import DEFAULT_UPDATE_POINTS
 from repro.core.haxconn import HaXCoNN, ScheduleResult
 from repro.core.schedule_cache import ScheduleCache, workload_signature
+from repro.core.solve_store import SolveStore
 from repro.core.workload import Workload
 from repro.profiling.database import ProfileDB
 from repro.soc.platform import Platform, get_platform
+
+#: per-signature cap on adopted memo fragments (gossip + store)
+_MEMO_FRAGMENT_CAP = 4096
+#: newest memo entries harvested from one converged solve
+_MEMO_EXPORT_LIMIT = 512
 
 
 class ServingPolicy:
@@ -65,6 +71,19 @@ class ServingPolicy:
 
     def stats(self) -> dict[str, object]:
         return {"policy": self.name, "rejected": self.rejected}
+
+    # -- cross-shard gossip (the fleet's SharedEvalState protocol) -----
+    def export_delta(self, limit: int = 256) -> tuple[Any, ...]:
+        """Drain locally-new solve artifacts for peer shards.
+
+        Static policies share nothing; the cache-plus-anytime policy
+        overrides this with schedule and evaluation-memo deltas.
+        """
+        return ()
+
+    def merge(self, delta: Sequence[Any]) -> None:
+        """Adopt peer artifacts (no-op for static policies)."""
+        return None
 
 
 class StaticPolicy(ServingPolicy):
@@ -180,6 +199,7 @@ class CachedAnytimePolicy(ServingPolicy):
         scheduler: HaXCoNN,
         *,
         cache: ScheduleCache | None = None,
+        store: SolveStore | None = None,
         update_points: Sequence[float] = DEFAULT_UPDATE_POINTS,
         max_queue_depth: int | None = None,
         verify_admission: bool = True,
@@ -197,6 +217,20 @@ class CachedAnytimePolicy(ServingPolicy):
         self.solves = 0
         self.swaps = 0
         self.verify_failures = 0
+        #: per-signature evaluation-memo fragments adopted from the
+        #: solve store / peer shards; seeded into novel-mix solves
+        self._memo_fragments: dict[str, list[tuple[Any, Any]]] = {}
+        #: harvested (sig, entries) batches not yet gossiped
+        self._pending_memo: list[tuple[str, tuple[Any, ...]]] = []
+        self.store = store
+        if store is not None:
+            self.cache.attach_store(store)
+            for sig in store.signatures():
+                entries = store.memo_for(sig)
+                if entries:
+                    self._memo_fragments[sig] = list(
+                        entries[:_MEMO_FRAGMENT_CAP]
+                    )
 
     # ------------------------------------------------------------------
     def _best_naive(
@@ -247,19 +281,32 @@ class CachedAnytimePolicy(ServingPolicy):
             return concurrent
         return serial
 
-    def _solve_anytime(self, workload: Workload) -> _AnytimePhase:
+    def _solve_anytime(
+        self, workload: Workload, key: str | None = None
+    ) -> _AnytimePhase:
         """Build the swap plan for a novel mix (one solver run).
 
         Schedules already published for *other* mixes seed the solver
         through :meth:`ScheduleCache.warm_starts` -- with the
         portfolio solver, a good seed pulls the first strong incumbent
-        to the earliest update points.
+        to the earliest update points.  Memo fragments adopted for
+        *this* mix (solve store, peer gossip) pre-load the fresh
+        formulation's evaluation memo; after the solve, the newest
+        locally-computed entries are harvested back for gossip and
+        persistence.  Both channels trade only pure values, so they
+        change solve speed, never the plan.
         """
+        if key is None:
+            key = workload_signature(workload, self.scheduler)
+        memo_seed = tuple(self._memo_fragments.get(key, ()))
         formulation, _ = self.scheduler.build_formulation(workload)
         naive = self._best_naive(workload, formulation)
         solve = self.scheduler.schedule(
-            workload, warm_starts=self.cache.warm_starts(workload)
+            workload,
+            warm_starts=self.cache.warm_starts(workload),
+            memo_seed=memo_seed,
         )
+        self._harvest_memo(key, solve, {k for k, _ in memo_seed})
 
         candidates: list[tuple[float, ScheduleResult]] = [(0.0, naive)]
         best_objective = naive.predicted.objective
@@ -297,28 +344,63 @@ class CachedAnytimePolicy(ServingPolicy):
         adopt_at = max(adopt_at, candidates[-1][0])
         if solve.predicted.objective < best_objective:
             candidates.append((adopt_at, solve))
+
+        # the phase's final schedule is already certified (the solver
+        # ran to completion above; phase time only gates *serving* it,
+        # per D-HaX-CoNN's solver-co-runs-with-inference model), so
+        # publish it to the cache -- and through it to gossip and the
+        # solve store -- immediately.  Locally the in-flight phase
+        # takes precedence over the cache entry (see result_for), so
+        # serving fidelity is unchanged; peers and future processes
+        # toggle without re-solving.
+        final = candidates[-1][1]
+        if self._admit(workload, final):
+            self.cache.put(workload, final.schedule)
         return _AnytimePhase(
             candidates=candidates, final_available_s=adopt_at
         )
+
+    def _harvest_memo(
+        self, key: str, solve: ScheduleResult, seeded: set[Any]
+    ) -> None:
+        """Queue this solve's freshest memo entries for gossip and
+        write them through to the solve store (when attached and
+        writable).  Entries that arrived via the seed are filtered so
+        gossip never echoes."""
+        formulation = solve.formulation
+        if formulation is None:
+            return
+        entries = tuple(
+            item
+            for item in formulation.engine.memo.export_all(
+                limit=_MEMO_EXPORT_LIMIT
+            )
+            if item[0] not in seeded
+        )
+        if not entries:
+            return
+        self._pending_memo.append((key, entries))
+        if self.store is not None and not self.store.readonly:
+            self.store.append_memo(key, entries)
 
     # ------------------------------------------------------------------
     def result_for(
         self, workload: Workload, elapsed_s: float
     ) -> ScheduleResult:
-        if workload in self.cache:
-            return self.cache.get(workload)
         key = workload_signature(workload, self.scheduler)
         phase = self._phases.get(key)
         if phase is None:
+            if workload in self.cache:
+                return self.cache.get(workload)
             self.solves += 1
-            phase = self._solve_anytime(workload)
+            phase = self._solve_anytime(workload, key)
             self._phases[key] = phase
+        # an in-flight phase outranks the cache entry its own solve
+        # published: the mix swaps through incumbents as D-HaX-CoNN
+        # prescribes, and only *future* occurrences toggle instantly
         result, converged, swaps = phase.active(elapsed_s)
         self.swaps += swaps
         if converged:
-            if self._admit(workload, result):
-                # future occurrences of this mix are cache toggles
-                self.cache.put(workload, result.schedule)
             del self._phases[key]
         return result
 
@@ -340,6 +422,47 @@ class CachedAnytimePolicy(ServingPolicy):
             return False
         return True
 
+    # -- cross-shard gossip --------------------------------------------
+    def export_delta(self, limit: int = 256) -> tuple[Any, ...]:
+        """Published schedules plus harvested memo batches, tagged.
+
+        Items are ``("sched", sig, payload)`` or ``("memo", sig,
+        entries)`` plain tuples -- picklable across the fleet's fork
+        queues, mergeable by :meth:`merge` on any peer.
+        """
+        items: list[Any] = [
+            ("sched", sig, payload)
+            for sig, payload in self.cache.export_delta(limit)
+        ]
+        memo = self._pending_memo[: max(0, limit - len(items))]
+        del self._pending_memo[: len(memo)]
+        items.extend(("memo", sig, entries) for sig, entries in memo)
+        return tuple(items)
+
+    def merge(self, delta: Sequence[Any]) -> None:
+        """Adopt peer schedules into the cache and peer memo batches
+        into the per-signature fragment pools (deduplicated, bounded,
+        never re-exported)."""
+        for item in delta:
+            kind = item[0]
+            if kind == "sched":
+                self.cache.merge([(item[1], item[2])])
+            elif kind == "sched-store":
+                # schedules seeded from the persistent solve store:
+                # adopted like peer gossip, but lookups they answer
+                # additionally count as store hits
+                self.cache.adopt_stored([(item[1], item[2])])
+            elif kind == "memo":
+                sig, entries = item[1], item[2]
+                bucket = self._memo_fragments.setdefault(sig, [])
+                known = {k for k, _ in bucket}
+                for entry_key, entry_value in entries:
+                    if len(bucket) >= _MEMO_FRAGMENT_CAP:
+                        break
+                    if entry_key not in known:
+                        bucket.append((entry_key, entry_value))
+                        known.add(entry_key)
+
     def stats(self) -> dict[str, object]:
         return {
             **super().stats(),
@@ -347,6 +470,7 @@ class CachedAnytimePolicy(ServingPolicy):
             "swaps": self.swaps,
             "cache_hits": self.cache.hits,
             "cache_misses": self.cache.misses,
+            "store_hits": self.cache.store_hits,
             "verify_failures": self.verify_failures,
         }
 

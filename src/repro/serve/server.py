@@ -35,9 +35,21 @@ from repro.serve.requests import Request, Tenant, generate_requests
 from repro.serve.slo import FleetReport, ServedRequest
 from repro.soc.platform import Platform, get_platform
 from repro.soc.timeline import Timeline
+from repro.solver.clock import monotonic_s
 
 #: slack when comparing virtual-time instants
 _EPS = 1e-12
+
+#: scheduler provenance that counts as a HaX-CoNN incumbent round:
+#: cache toggles ("cached") and every solver-produced schedule
+#: ("haxconn", "haxconn-incumbent", "haxconn-serial-fallback") --
+#: as opposed to the naive starts a novel mix serves first
+_HAX_FAMILY_PREFIX = "haxconn"
+_HAX_FAMILY_EXACT = ("cached",)
+
+
+def _is_hax_scheduler(name: str) -> bool:
+    return name in _HAX_FAMILY_EXACT or name.startswith(_HAX_FAMILY_PREFIX)
 
 
 @dataclass(frozen=True)
@@ -97,6 +109,19 @@ class Server:
             *[t.stream() for t in active], objective=self.objective
         )
 
+    def session(
+        self, *, horizon_s: float, max_requests: int = 10_000
+    ) -> "ServingSession":
+        """A resumable serving session over this server's tenants.
+
+        The fleet steps sessions in gossip epochs
+        (:meth:`ServingSession.run_rounds`); :meth:`run` is the
+        drain-everything convenience on top.
+        """
+        return ServingSession(
+            self, horizon_s=horizon_s, max_requests=max_requests
+        )
+
     def run(
         self,
         *,
@@ -109,106 +134,192 @@ class Server:
         The loop drains queues past the horizon (no request is
         abandoned), so the report always covers the full arrival set.
         """
-        requests = generate_requests(
-            list(self.tenants),
+        session = self.session(
+            horizon_s=horizon_s, max_requests=max_requests
+        )
+        if max_rounds is None:
+            session.run_rounds()
+        else:
+            while not session.finished:
+                remaining = max_rounds - len(session.rounds)
+                if remaining <= 0:
+                    break
+                session.run_rounds(remaining)
+        return session.report()
+
+
+class ServingSession:
+    """One resumable serving run: the fleet's epoch-step unit.
+
+    Holds every piece of loop state :meth:`Server.run` used to keep in
+    locals -- request stream, per-tenant queues, round and request
+    records, per-mix phase time, the virtual clock -- so the loop can
+    be advanced a bounded number of rounds at a time
+    (:meth:`run_rounds`) with gossip applied between calls.  Running
+    a session to completion in one call is byte-identical to the old
+    monolithic loop, and the round trace is a pure function of the
+    arrival stream and the policy's answers: wall-clock never enters
+    the virtual timeline.
+
+    The session additionally tracks *time-to-first-HaX-CoNN-
+    incumbent*: the round index and wall-clock latency (via the
+    sanctioned :func:`repro.solver.clock.monotonic_s`) at which the
+    first HaX-CoNN-family schedule -- a cache toggle or a solver
+    incumbent, as opposed to a naive start -- was dispatched.  The
+    wall-clock number is benchmark telemetry only; it never appears in
+    the :class:`FleetReport`.
+    """
+
+    def __init__(
+        self,
+        server: Server,
+        *,
+        horizon_s: float,
+        max_requests: int = 10_000,
+    ) -> None:
+        self.server = server
+        self._requests = generate_requests(
+            list(server.tenants),
             horizon_s=horizon_s,
             max_per_tenant=max_requests,
         )[:max_requests]
-        queues: dict[str, deque[Request]] = {
-            t.name: deque() for t in self.tenants
+        self._queues: dict[str, deque[Request]] = {
+            t.name: deque() for t in server.tenants
         }
-        slo = {t.name: t.slo_s for t in self.tenants}
-        records: list[ServedRequest] = []
-        rounds: list[RoundRecord] = []
-        mix_elapsed: dict[tuple[str, ...], float] = {}
-        now = 0.0
-        next_arrival = 0
+        self._slo = {t.name: t.slo_s for t in server.tenants}
+        self.records: list[ServedRequest] = []
+        self.rounds: list[RoundRecord] = []
+        self._mix_elapsed: dict[tuple[str, ...], float] = {}
+        self._now = 0.0
+        self._next_arrival = 0
+        self._finished = False
+        self._wall_start = monotonic_s()
+        #: round index of the first HaX-CoNN-family dispatch
+        #: (deterministic; None until it happens)
+        self.first_hax_round: int | None = None
+        #: wall-clock seconds until that dispatch (telemetry only)
+        self.first_hax_wall_s: float | None = None
 
-        while True:
+    @property
+    def finished(self) -> bool:
+        """Every generated request has been served or shed."""
+        return self._finished
+
+    @property
+    def now_s(self) -> float:
+        """The session's virtual clock."""
+        return self._now
+
+    def run_rounds(self, limit: int | None = None) -> int:
+        """Advance the loop by up to ``limit`` dispatched rounds
+        (unbounded when None); returns the rounds executed.  Virtual
+        idle-time jumps to the next arrival do not count as rounds."""
+        if limit is not None and limit < 0:
+            raise ValueError("limit must be >= 0 when given")
+        executed = 0
+        while not self._finished and (limit is None or executed < limit):
             # 1. admission: everything that has arrived by `now`
             while (
-                next_arrival < len(requests)
-                and requests[next_arrival].arrival_s <= now + _EPS
+                self._next_arrival < len(self._requests)
+                and self._requests[self._next_arrival].arrival_s
+                <= self._now + _EPS
             ):
-                req = requests[next_arrival]
-                next_arrival += 1
-                if self.policy.admit(
-                    req.tenant, len(queues[req.tenant]), now
+                req = self._requests[self._next_arrival]
+                self._next_arrival += 1
+                if self.server.policy.admit(
+                    req.tenant, len(self._queues[req.tenant]), self._now
                 ):
-                    queues[req.tenant].append(req)
+                    self._queues[req.tenant].append(req)
                 else:
-                    records.append(
+                    self.records.append(
                         ServedRequest(
                             tenant=req.tenant,
                             seq=req.seq,
                             arrival_s=req.arrival_s,
-                            slo_s=slo[req.tenant],
+                            slo_s=self._slo[req.tenant],
                             rejected=True,
                         )
                     )
 
-            active = [t for t in self.tenants if queues[t.name]]
+            active = [
+                t for t in self.server.tenants if self._queues[t.name]
+            ]
             if not active:
-                if next_arrival >= len(requests):
+                if self._next_arrival >= len(self._requests):
+                    self._finished = True
                     break  # drained: every request served or shed
-                now = requests[next_arrival].arrival_s
+                self._now = self._requests[self._next_arrival].arrival_s
                 continue
 
             # 2. dispatch one round for the active mix
-            workload = self._mix_workload(active)
+            workload = self.server._mix_workload(active)
             mix_key = workload.names
-            elapsed = mix_elapsed.get(mix_key, 0.0)
-            result = self.policy.result_for(workload, elapsed)
+            elapsed = self._mix_elapsed.get(mix_key, 0.0)
+            result = self.server.policy.result_for(workload, elapsed)
             batch = tuple(
-                min(len(queues[t.name]), self.max_batch) for t in active
+                min(len(self._queues[t.name]), self.server.max_batch)
+                for t in active
             )
             execution = run_schedule(
                 result,
-                self.platform,
+                self.server.platform,
                 repeats=batch,
-                contention=self.contention,
+                contention=self.server.contention,
             )
             timeline = execution.timeline
             for n, tenant in enumerate(active):
                 for rep in range(batch[n]):
-                    req = queues[tenant.name].popleft()
-                    finish = now + timeline.completion(dnn=n, rep=rep)
-                    records.append(
+                    req = self._queues[tenant.name].popleft()
+                    finish = self._now + timeline.completion(
+                        dnn=n, rep=rep
+                    )
+                    self.records.append(
                         ServedRequest(
                             tenant=req.tenant,
                             seq=req.seq,
                             arrival_s=req.arrival_s,
-                            slo_s=slo[req.tenant],
-                            start_s=now,
+                            slo_s=self._slo[req.tenant],
+                            start_s=self._now,
                             finish_s=finish,
-                            round_index=len(rounds),
+                            round_index=len(self.rounds),
                         )
                     )
             duration = execution.makespan_s
-            rounds.append(
+            scheduler_name = str(
+                result.schedule.meta.get("scheduler", "?")
+            )
+            if self.first_hax_round is None and _is_hax_scheduler(
+                scheduler_name
+            ):
+                self.first_hax_round = len(self.rounds)
+                self.first_hax_wall_s = monotonic_s() - self._wall_start
+            self.rounds.append(
                 RoundRecord(
-                    index=len(rounds),
-                    start_s=now,
-                    end_s=now + duration,
+                    index=len(self.rounds),
+                    start_s=self._now,
+                    end_s=self._now + duration,
                     tenants=tuple(t.name for t in active),
                     batch=batch,
-                    scheduler=str(
-                        result.schedule.meta.get("scheduler", "?")
-                    ),
+                    scheduler=scheduler_name,
                     timeline=timeline,
                 )
             )
-            mix_elapsed[mix_key] = elapsed + duration
-            now += duration
-            if max_rounds is not None and len(rounds) >= max_rounds:
-                break
+            self._mix_elapsed[mix_key] = elapsed + duration
+            self._now += duration
+            executed += 1
+        return executed
 
-        records.sort(key=lambda r: (r.arrival_s, r.tenant, r.seq))
+    def report(self) -> FleetReport:
+        """The run so far as a :class:`FleetReport` (byte-identical to
+        the old monolithic loop's report once :attr:`finished`)."""
+        records = sorted(
+            self.records, key=lambda r: (r.arrival_s, r.tenant, r.seq)
+        )
         return FleetReport(
             records,
-            rounds,
-            tenant_slos=slo,
-            policy_stats=self.policy.stats(),
+            list(self.rounds),
+            tenant_slos=dict(self._slo),
+            policy_stats=self.server.policy.stats(),
         )
 
 

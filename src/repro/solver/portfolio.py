@@ -277,11 +277,12 @@ class PortfolioSolver:
     sync_every:
         Nodes between incumbent-sharing sync points.
     clock:
-        Timestamp mode for reported incumbents: ``wall`` uses real
-        elapsed seconds (for benchmarking); ``nodes`` derives virtual
-        timestamps from the deterministic evaluation count divided by
-        ``node_rate``, which keeps downstream consumers (the serving
-        layer's update points) fully reproducible.
+        Timestamp mode for reported incumbents *and* the result's
+        total ``wall_time_s``: ``wall`` uses real elapsed seconds
+        (for benchmarking); ``nodes`` derives virtual timestamps from
+        the deterministic evaluation count divided by ``node_rate``,
+        which keeps downstream consumers (the serving layer's update
+        points and phase-completion times) fully reproducible.
     greedy_sweeps:
         Best-response improvement sweeps applied to the best warm
         start before workers spawn (0 disables).
@@ -646,7 +647,7 @@ class PortfolioSolver:
             best=best,
             optimal=certified,
             nodes_explored=virtual_nodes(),
-            wall_time_s=monotonic_s() - start,
+            wall_time_s=max(last_ts, timestamp()),
             incumbents=merged,
             workers=tuple(stats[w] for w in sorted(stats)),
             backend=backend,
@@ -689,11 +690,16 @@ class PortfolioSolver:
             _permuted(problem, strategy.order), initial=seed_assignment
         )
         worker_nodes[0] = result.nodes_explored
+        total_nodes = root_nodes + result.nodes_explored
+        if self.clock == "nodes":
+            done_s = total_nodes / self.node_rate
+        else:
+            done_s = monotonic_s() - start
         return PortfolioResult(
             best=merged[-1] if merged else None,
             optimal=result.optimal,
-            nodes_explored=root_nodes + result.nodes_explored,
-            wall_time_s=monotonic_s() - start,
+            nodes_explored=total_nodes,
+            wall_time_s=done_s,
             incumbents=merged,
             workers=(
                 WorkerStats(

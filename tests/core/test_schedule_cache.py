@@ -143,6 +143,106 @@ class TestCache:
         assert measured.latency_ms > 0
 
 
+class TestPersistence:
+    def test_v2_roundtrip_restores_stats(
+        self, scheduler, workload, tmp_path
+    ):
+        cache = ScheduleCache(scheduler)
+        cache.get(workload)  # miss
+        cache.get(workload)  # hit
+        path = tmp_path / "schedules.json"
+        cache.save(path)
+        restored = ScheduleCache.load(path, scheduler)
+        assert restored.hits == 1
+        assert restored.misses == 1
+        assert restored.store_hits == 0
+        assert workload in restored
+
+    def test_v1_flat_file_still_loads(
+        self, scheduler, workload, tmp_path
+    ):
+        import json
+
+        from repro.core.schedule_cache import schedule_to_payload
+
+        cache = ScheduleCache(scheduler)
+        solved = cache.get(workload)
+        path = tmp_path / "v1.json"
+        path.write_text(
+            json.dumps(
+                {
+                    cache.signature(workload): schedule_to_payload(
+                        solved.schedule
+                    )
+                }
+            )
+        )
+        restored = ScheduleCache.load(path, scheduler)
+        assert workload in restored
+        assert restored.hits == 0 and restored.misses == 0
+
+
+class TestSolveStoreIntegration:
+    def test_attach_store_adopts_and_counts_store_hits(
+        self, scheduler, workload, tmp_path
+    ):
+        from repro.core.solve_store import SolveStore
+
+        donor = ScheduleCache(scheduler)
+        solved = donor.get(workload)
+        store = SolveStore(tmp_path / "solves.jsonl")
+        donor.attach_store(store)
+        donor.put(workload, solved.schedule)  # write-through
+        assert store.schedules()
+
+        cache = ScheduleCache(scheduler)
+        assert cache.attach_store(store) == 1
+        assert workload in cache
+        result = cache.get(workload)
+        assert cache.hits == 1
+        assert cache.store_hits == 1
+        assert result.schedule.meta.get("scheduler") == "cached"
+
+    def test_adopt_stored_marks_store_provenance(
+        self, scheduler, workload
+    ):
+        donor = ScheduleCache(scheduler)
+        solved = donor.get(workload)
+        donor.put(workload, solved.schedule)
+        delta = donor.export_delta()
+
+        gossiped = ScheduleCache(scheduler)
+        gossiped.merge(delta)
+        gossiped.get(workload)
+        assert gossiped.hits == 1 and gossiped.store_hits == 0
+
+        seeded = ScheduleCache(scheduler)
+        seeded.adopt_stored(delta)
+        seeded.get(workload)
+        assert seeded.hits == 1 and seeded.store_hits == 1
+
+    def test_export_delta_drains_without_echo(
+        self, scheduler, workload
+    ):
+        cache = ScheduleCache(scheduler)
+        cache.get(workload)
+        first = cache.export_delta()
+        assert len(first) == 1
+        assert cache.export_delta() == ()
+        # merged entries are never re-exported (no gossip echo loops)
+        peer = ScheduleCache(scheduler)
+        peer.merge(first)
+        assert peer.export_delta() == ()
+
+    def test_hit_dispatches_as_cached_scheduler(
+        self, scheduler, workload
+    ):
+        cache = ScheduleCache(scheduler)
+        cache.get(workload)
+        hit = cache.get(workload)
+        assert hit.schedule.meta.get("scheduler") == "cached"
+
+
 class TestWarmStarts:
     def test_empty_cache_yields_no_seeds(self, scheduler, workload):
         assert ScheduleCache(scheduler).warm_starts(workload) == []

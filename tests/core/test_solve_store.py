@@ -1,0 +1,188 @@
+"""The persistent solve store: JSONL round-trips, dedup, torn tails."""
+
+import json
+
+import pytest
+
+from repro.core.solve_store import (
+    SolveStore,
+    memo_entry_from_json,
+    memo_entry_to_json,
+)
+
+SCHED_A = {
+    "serialized": False,
+    "streams": [
+        {"dnn": "resnet18", "assignment": ["gpu", "dla", "gpu"]},
+        {"dnn": "googlenet", "assignment": ["dla", "dla", "gpu"]},
+    ],
+}
+SCHED_B = {
+    "serialized": True,
+    "streams": [
+        {"dnn": "resnet18", "assignment": ["gpu", "gpu", "gpu"]},
+        {"dnn": "googlenet", "assignment": ["gpu", "gpu", "gpu"]},
+    ],
+}
+MEMO_KEY = ((("gpu", "dla"), ("dla",)), False, True)
+MEMO_OK = (
+    "ok",
+    (0.004999999999999893, 0.0121),
+    0.0121,
+    0.0121,
+    None,
+    7,
+)
+MEMO_BAD = ("bad", "exclusive-accelerator clash")
+
+
+class TestMemoEntryJson:
+    def test_ok_entry_round_trips_exactly(self):
+        key, value = memo_entry_from_json(
+            memo_entry_to_json(MEMO_KEY, MEMO_OK)
+        )
+        assert key == MEMO_KEY
+        assert value == MEMO_OK
+        # bit-exact floats, not approximate ones
+        assert value[1][0].hex() == MEMO_OK[1][0].hex()
+
+    def test_bad_entry_round_trips(self):
+        key, value = memo_entry_from_json(
+            memo_entry_to_json(MEMO_KEY, MEMO_BAD)
+        )
+        assert key == MEMO_KEY
+        assert value == MEMO_BAD
+
+    def test_round_trip_through_actual_json(self):
+        wire = json.loads(
+            json.dumps(memo_entry_to_json(MEMO_KEY, MEMO_OK))
+        )
+        assert memo_entry_from_json(wire) == (MEMO_KEY, MEMO_OK)
+
+    def test_energy_field_round_trips(self):
+        value = ("ok", (0.1,), 0.1, 0.1, 12.5, 3)
+        _, back = memo_entry_from_json(
+            memo_entry_to_json(MEMO_KEY, value)
+        )
+        assert back == value
+
+
+class TestScheduleRecords:
+    def test_round_trip_through_reload(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        assert store.append_schedule("sig-a", SCHED_A)
+        reloaded = SolveStore(store.path)
+        assert reloaded.schedules() == {"sig-a": SCHED_A}
+        assert reloaded.skipped_lines == 0
+        assert len(reloaded) == 1
+
+    def test_content_addressed_dedup(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        assert store.append_schedule("sig-a", SCHED_A)
+        assert not store.append_schedule("sig-a", SCHED_A)
+        assert len(store.path.read_text().splitlines()) == 1
+
+    def test_last_schedule_wins(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-a", SCHED_A)
+        store.append_schedule("sig-a", SCHED_B)
+        assert store.schedules()["sig-a"] == SCHED_B
+        # replaying the file preserves last-wins
+        assert SolveStore(store.path).schedules()["sig-a"] == SCHED_B
+
+    def test_signatures_sorted_across_kinds(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-b", SCHED_A)
+        store.append_memo("sig-a", [(MEMO_KEY, MEMO_OK)])
+        assert store.signatures() == ("sig-a", "sig-b")
+
+
+class TestMemoRecords:
+    def test_round_trip_through_reload(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        assert store.append_memo(
+            "sig-a", [(MEMO_KEY, MEMO_OK), (MEMO_KEY, MEMO_BAD)]
+        )
+        reloaded = SolveStore(store.path)
+        assert reloaded.memo_for("sig-a") == (
+            (MEMO_KEY, MEMO_OK),
+            (MEMO_KEY, MEMO_BAD),
+        )
+        assert reloaded.memo_for("sig-unknown") == ()
+
+    def test_empty_batch_is_not_recorded(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        assert not store.append_memo("sig-a", [])
+        assert not store.path.exists()
+
+    def test_batches_accumulate_in_order(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_memo("sig-a", [(MEMO_KEY, MEMO_OK)])
+        store.append_memo("sig-a", [(MEMO_KEY, MEMO_BAD)])
+        assert store.memo_for("sig-a") == (
+            (MEMO_KEY, MEMO_OK),
+            (MEMO_KEY, MEMO_BAD),
+        )
+
+
+class TestDurability:
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-a", SCHED_A)
+        store.append_memo("sig-a", [(MEMO_KEY, MEMO_OK)])
+        with store.path.open("a") as handle:
+            handle.write('{"v": 1, "kind": "schedule", "si')  # crash
+        reloaded = SolveStore(store.path)
+        assert reloaded.skipped_lines == 1
+        assert reloaded.schedules() == {"sig-a": SCHED_A}
+        assert reloaded.memo_for("sig-a") == ((MEMO_KEY, MEMO_OK),)
+
+    def test_unknown_kind_is_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text(
+            json.dumps(
+                {
+                    "v": 1,
+                    "kind": "wisdom",
+                    "sig": "sig-a",
+                    "id": "sha256:0",
+                    "body": 42,
+                }
+            )
+            + "\n"
+        )
+        store = SolveStore(path)
+        assert store.skipped_lines == 1
+        assert len(store) == 0
+
+    def test_blank_lines_ignored(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-a", SCHED_A)
+        with store.path.open("a") as handle:
+            handle.write("\n\n")
+        reloaded = SolveStore(store.path)
+        assert reloaded.skipped_lines == 0
+        assert len(reloaded) == 1
+
+    def test_missing_file_is_empty_store(self, tmp_path):
+        store = SolveStore(tmp_path / "absent.jsonl")
+        assert len(store) == 0
+        assert store.signatures() == ()
+
+    def test_repr_summarizes(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-a", SCHED_A)
+        assert "1 records" in repr(store)
+
+
+class TestReadonly:
+    def test_refuses_appends(self, tmp_path):
+        SolveStore(tmp_path / "s.jsonl").append_schedule(
+            "sig-a", SCHED_A
+        )
+        store = SolveStore(tmp_path / "s.jsonl", readonly=True)
+        assert store.schedules()  # still reads
+        with pytest.raises(ValueError, match="read-only"):
+            store.append_schedule("sig-b", SCHED_B)
+        with pytest.raises(ValueError, match="read-only"):
+            store.append_memo("sig-b", [(MEMO_KEY, MEMO_OK)])
