@@ -172,6 +172,7 @@ class LintConfig:
         "*/repro/serve/*",
         "*/repro/contention/*",
         "*/repro/analysis/*",
+        "*/repro/fuzz/*",
     )
     #: report waivers that silence nothing (HAX000)
     flag_stale_waivers: bool = True

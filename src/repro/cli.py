@@ -18,6 +18,13 @@ Subcommands
     Independently re-derive and certify schedules: either the
     scheduler's answer for a DNN mix, or every solver's output on N
     seeded random instances.  Exits non-zero on any violation.
+``haxconn fuzz --seeds A:B [--budget N] [--shrink] [--corpus DIR]``
+    Differential scenario-universe fuzzing: generate the seeded
+    scenario for every seed in ``[A, B)``, run the full oracle stack
+    (solver agreement, exhaustive enumeration, certificates,
+    evaluator byte-identity, baseline dominance), shrink failures to
+    minimal reproducers, and print a campaign digest.  Exits non-zero
+    on any discrepancy.
 ``haxconn lint [PATH ...]``
     Run the determinism/concurrency lint (HAX001-HAX008) over the
     given paths (default: the installed ``repro`` package).
@@ -302,6 +309,65 @@ def _verify_random(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def parse_seed_range(text: str) -> range:
+    """``A:B`` -> range(A, B); a bare ``N`` means range(0, N)."""
+    parts = text.split(":")
+    if len(parts) == 1:
+        start, stop = 0, int(parts[0])
+    elif len(parts) == 2:
+        start, stop = int(parts[0]), int(parts[1])
+    else:
+        raise ValueError(f"bad seed range {text!r}; expected A:B or N")
+    if stop <= start:
+        raise ValueError(f"empty seed range {text!r}")
+    return range(start, stop)
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.fuzz import run_campaign
+
+    try:
+        seeds = parse_seed_range(args.seeds)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = run_campaign(
+        seeds,
+        budget=args.budget,
+        shrink_failures=args.shrink,
+        corpus_dir=args.corpus,
+    )
+    stats = report.stats
+    print(
+        f"fuzzed {stats['scenarios']} scenario(s) over seeds "
+        f"{seeds.start}:{seeds.stop} "
+        f"({report.oracle_calls} oracle call(s))"
+    )
+    print(
+        f"coverage: {stats['platforms']} platform(s), "
+        f"{stats['transformer_scenarios']} transformer mix(es), "
+        f"{stats['multi_dsa_scenarios']} >2-DSA scenario(s), "
+        f"{stats['concurrent_schedules']} concurrent schedule(s)"
+    )
+    if report.truncated_at is not None:
+        print(f"budget exhausted before seed {report.truncated_at}")
+    for entry in report.failures:
+        steps = (
+            f" (shrunk in {len(entry.steps)} step(s))"
+            if entry.steps
+            else ""
+        )
+        print(f"FAIL {entry.spec.name}{steps}")
+        for check, detail in entry.discrepancies:
+            print(f"  {check}: {detail}")
+        if args.corpus:
+            from repro.fuzz.corpus import artifact_name
+
+            print(f"  reproducer: {args.corpus}/{artifact_name(entry.spec)}")
+    print(f"campaign digest: {report.digest}")
+    return 0 if report.ok else 1
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.analysis.lint import LintConfig, RULES, lint_paths
 
@@ -497,6 +563,35 @@ def build_parser() -> argparse.ArgumentParser:
         "instances",
     )
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="differential scenario-universe fuzzing",
+    )
+    p.add_argument(
+        "--seeds",
+        default="0:100",
+        metavar="A:B",
+        help="seed range [A, B) to fuzz (default 0:100)",
+    )
+    p.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="cap total oracle invocations (scenarios + shrink probes)",
+    )
+    p.add_argument(
+        "--shrink",
+        action="store_true",
+        help="reduce failing scenarios to minimal reproducers",
+    )
+    p.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="persist failing reproducers as JSON artifacts here",
+    )
+    p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser(
         "lint",

@@ -24,8 +24,8 @@ from repro.soc.engine import Engine, SimTask
 from repro.soc.platform import Platform
 
 #: accelerator names used to host the synthetic co-run clients; the
-#: third client lands on the CPU complex, which also reads DRAM
-_CLIENT_HOSTS = ("gpu", "dla", "dsp", "cpu")
+#: final client lands on the CPU complex, which also reads DRAM
+_CLIENT_HOSTS = ("gpu", "dla", "npu", "dsp", "cpu")
 
 
 def _interp(grid: np.ndarray, value: float) -> tuple[int, int, float]:

@@ -18,7 +18,16 @@ from repro.dnn.shapes import TensorShape
 
 #: layer kinds that carry the "real" compute of a fused unit, in
 #: priority order when picking the unit's primary layer
-_PRIMARY_KINDS = ("conv", "dwconv", "deconv", "fc", "pool", "lrn", "softmax")
+_PRIMARY_KINDS = (
+    "conv",
+    "dwconv",
+    "deconv",
+    "fc",
+    "matmul",
+    "pool",
+    "lrn",
+    "softmax",
+)
 
 
 class FusedLayer:

@@ -496,3 +496,114 @@ class Dropout(Layer):
 
     def _flops(self) -> int:
         return 0
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the feature axis of each token.
+
+    Tokens are columns of a ``(d_model, seq, 1)`` tensor (the
+    convention :class:`Tokenize` establishes), so the statistics run
+    over the channel axis -- the transformer counterpart of
+    :class:`BatchNorm`, with a learned scale and shift per feature.
+    """
+
+    kind = "ln"
+    fusible = True
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        return self._single_input(inputs)
+
+    @property
+    def weight_params(self) -> int:
+        self._require_bound()
+        assert self.in_shapes is not None
+        return 2 * self.in_shapes[0].c
+
+    def _flops(self) -> int:
+        # mean, variance, normalize, scale+shift: ~8 ops per element
+        return 8 * self.output_elems
+
+
+class Tokenize(Layer):
+    """Reshape a ``(C, H, W)`` feature map into ``(C, H*W, 1)`` tokens.
+
+    Pure data movement: turns a patch-embedding convolution's output
+    into the token sequence the attention layers consume (ViT-style
+    ``flatten + transpose``, kept channel-major in this IR).
+    """
+
+    kind = "reshape"
+    fusible = True
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        x = self._single_input(inputs)
+        return TensorShape(x.c, x.h * x.w, 1)
+
+    def _flops(self) -> int:
+        return 0
+
+
+class MatMul(Layer):
+    """Multi-head attention matmul: QK^T scores or attention-x-V.
+
+    Two weight-free modes, selected by the bound input shapes:
+
+    * **scores** -- both inputs are token tensors ``(d_model, seq, 1)``
+      (the Q and K projections); output is the per-head score tensor
+      ``(heads, seq, seq)``.
+    * **context** -- first input is an attention tensor
+      ``(heads, seq, seq)`` (post softmax), second the V token tensor
+      ``(d_model, seq, 1)``; output is the context ``(d_model, seq, 1)``.
+
+    Both modes move ``2 * seq^2 * d_model`` FLOPs, the quadratic
+    attention term that makes transformer groups bandwidth-hungry in a
+    way the CNN zoo never exercises.
+    """
+
+    kind = "matmul"
+
+    def __init__(self, name: str, heads: int = 1) -> None:
+        super().__init__(name)
+        if heads <= 0:
+            raise LayerError(f"matmul {name!r}: heads must be positive")
+        self.heads = heads
+
+    def infer_shape(self, inputs: Sequence[TensorShape]) -> TensorShape:
+        if len(inputs) != 2:
+            raise LayerError(
+                f"matmul {self.name!r} expects exactly two inputs, "
+                f"got {len(inputs)}"
+            )
+        a, b = inputs
+        if a == b and a.w == 1:
+            # scores: Q (d, s, 1) x K (d, s, 1) -> (heads, s, s)
+            if a.c % self.heads:
+                raise LayerError(
+                    f"matmul {self.name!r}: d_model {a.c} not divisible "
+                    f"by heads={self.heads}"
+                )
+            return TensorShape(self.heads, a.h, a.h)
+        if (
+            a.c == self.heads
+            and a.h == a.w
+            and b.w == 1
+            and b.h == a.h
+            and b.c % self.heads == 0
+        ):
+            # context: attn (heads, s, s) x V (d, s, 1) -> (d, s, 1)
+            return TensorShape(b.c, b.h, 1)
+        raise LayerError(
+            f"matmul {self.name!r}: inputs {a} x {b} fit neither the "
+            "QK^T scores form nor the attention-x-V context form"
+        )
+
+    def _seq_and_width(self) -> tuple[int, int]:
+        assert self.in_shapes is not None
+        a, b = self.in_shapes
+        if a == b:
+            return a.h, a.c
+        return b.h, b.c
+
+    def _flops(self) -> int:
+        seq, d_model = self._seq_and_width()
+        return 2 * seq * seq * d_model

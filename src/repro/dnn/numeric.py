@@ -31,9 +31,12 @@ from repro.dnn.layers import (
     GlobalAvgPool2d,
     InputLayer,
     Layer,
+    LayerNorm,
     LRN,
+    MatMul,
     MaxPool2d,
     Softmax,
+    Tokenize,
 )
 from repro.dnn.shapes import window_out
 
@@ -183,6 +186,10 @@ class NumericExecutor:
             x = inputs[0]
             if layer.fn == "relu6":
                 return np.clip(x, 0.0, 6.0)
+            if layer.fn == "gelu":
+                return (x * 0.5 * (1.0 + np.tanh(
+                    0.7978845608028654 * (x + 0.044715 * x**3)
+                ))).astype(np.float32)
             return np.maximum(x, 0.0)
         if isinstance(layer, LRN):
             x = inputs[0]
@@ -206,6 +213,31 @@ class NumericExecutor:
             return (e / e.sum()).astype(np.float32)
         if isinstance(layer, Dropout):
             return inputs[0]
+        if isinstance(layer, LayerNorm):
+            x = inputs[0]
+            mean = x.mean(axis=0, keepdims=True)
+            std = x.std(axis=0, keepdims=True) + 1e-5
+            return ((x - mean) / std).astype(np.float32)
+        if isinstance(layer, Tokenize):
+            x = inputs[0]
+            return x.reshape(x.shape[0], -1, 1)
+        if isinstance(layer, MatMul):
+            a, b = inputs
+            h = layer.heads
+            if a.shape == b.shape:
+                # scores: Q (d, s, 1) x K (d, s, 1) -> (h, s, s)
+                d, s = a.shape[0], a.shape[1]
+                q = a[:, :, 0].reshape(h, d // h, s)
+                k = b[:, :, 0].reshape(h, d // h, s)
+                scale = 1.0 / np.sqrt(d // h)
+                return np.einsum("hds,hdt->hst", q, k).astype(
+                    np.float32
+                ) * np.float32(scale)
+            # context: attn (h, s, s) x V (d, s, 1) -> (d, s, 1)
+            d, s = b.shape[0], b.shape[1]
+            v = b[:, :, 0].reshape(h, d // h, s)
+            ctx = np.einsum("hst,hdt->hds", a, v)
+            return ctx.reshape(d, s, 1).astype(np.float32)
         if isinstance(layer, Deconv2d):
             # zero-insertion upsample followed by a conv-like smear:
             # shape-faithful reference, not performance-tuned

@@ -43,6 +43,7 @@ from repro.dnn.zoo.resnet import (
 )
 from repro.dnn.zoo.densenet import build_densenet121
 from repro.dnn.zoo.mobilenet import build_mobilenet_v1
+from repro.dnn.zoo.transformer import build_vit_tiny
 
 MODEL_REGISTRY: dict[str, Callable[[], DNNGraph]] = {
     "alexnet": build_alexnet,
@@ -59,6 +60,7 @@ MODEL_REGISTRY: dict[str, Callable[[], DNNGraph]] = {
     "densenet121": build_densenet121,
     "mobilenet_v1": build_mobilenet_v1,
     "fcn_resnet18": build_fcn_resnet18,
+    "vit_tiny": build_vit_tiny,
 }
 
 #: paper spellings -> canonical registry names
@@ -73,6 +75,9 @@ ALIASES: dict[str, str] = {
     "fcn-resnet18": "fcn_resnet18",
     "vgg-19": "vgg19",
     "vgg-16": "vgg16",
+    "vit": "vit_tiny",
+    "vit-tiny": "vit_tiny",
+    "transformer": "vit_tiny",
 }
 
 

@@ -1,0 +1,80 @@
+"""Vision-transformer encoder for the widened scenario universe.
+
+``vit_tiny`` is a small ViT-style encoder: a strided patch-embedding
+convolution, :class:`~repro.dnn.layers.Tokenize` into a
+``(d_model, seq, 1)`` token tensor, then pre-norm transformer blocks
+whose Q/K/V/FFN projections are 1x1 convolutions over tokens and whose
+attention runs through the weight-free
+:class:`~repro.dnn.layers.MatMul` pairs (QK^T scores -> softmax ->
+attention x V).
+
+The network is deliberately compact (48x48 input, 36 tokens,
+d_model 96): its purpose is not ImageNet accuracy but exercising the
+scheduler on MatMul/softmax-heavy layer groups that fixed-function
+DLAs cannot execute -- every attention group is pinned to the GPU or
+an NPU by capability pruning, a structurally different search space
+from the CNN zoo.
+"""
+
+from __future__ import annotations
+
+from repro.dnn.graph import DNNGraph
+from repro.dnn.layers import (
+    Activation,
+    Add,
+    Conv2d,
+    Dense,
+    GlobalAvgPool2d,
+    Layer,
+    LayerNorm,
+    MatMul,
+    Softmax,
+    Tokenize,
+)
+from repro.dnn.shapes import TensorShape
+
+
+def _encoder_block(
+    g: DNNGraph, x: Layer, i: int, d_model: int, heads: int
+) -> Layer:
+    """One pre-norm transformer encoder block; returns its output."""
+    ln1 = g.add(LayerNorm(f"b{i}_ln1"), inputs=x)
+    q = g.add(Conv2d(f"b{i}_q", d_model, 1), inputs=ln1)
+    k = g.add(Conv2d(f"b{i}_k", d_model, 1), inputs=ln1)
+    v = g.add(Conv2d(f"b{i}_v", d_model, 1), inputs=ln1)
+    scores = g.add(MatMul(f"b{i}_qk", heads=heads), inputs=[q, k])
+    attn = g.add(Softmax(f"b{i}_attn"), inputs=scores)
+    ctx = g.add(MatMul(f"b{i}_av", heads=heads), inputs=[attn, v])
+    proj = g.add(Conv2d(f"b{i}_proj", d_model, 1), inputs=ctx)
+    res1 = g.add(Add(f"b{i}_res1"), inputs=[x, proj])
+    ln2 = g.add(LayerNorm(f"b{i}_ln2"), inputs=res1)
+    g.add(Conv2d(f"b{i}_ffn1", 4 * d_model, 1), inputs=ln2)
+    g.add(Activation(f"b{i}_gelu", fn="gelu"))
+    ffn2 = g.add(Conv2d(f"b{i}_ffn2", d_model, 1))
+    return g.add(Add(f"b{i}_res2"), inputs=[res1, ffn2])
+
+
+def build_vit_tiny(
+    *,
+    input_hw: int = 48,
+    patch: int = 8,
+    d_model: int = 96,
+    heads: int = 3,
+    depth: int = 2,
+    classes: int = 100,
+) -> DNNGraph:
+    """A compact ViT encoder (attention over 36 tokens, 2 blocks)."""
+    if d_model % heads:
+        raise ValueError(
+            f"d_model {d_model} must be divisible by heads {heads}"
+        )
+    g = DNNGraph("vit_tiny", TensorShape(3, input_hw, input_hw))
+    g.add(Conv2d("patch_embed", d_model, patch, stride=patch, padding=0))
+    x: Layer = g.add(Tokenize("tokens"))
+    for i in range(depth):
+        x = _encoder_block(g, x, i, d_model, heads)
+    g.add(LayerNorm("ln_final"), inputs=x)
+    g.add(GlobalAvgPool2d("pool"))
+    g.add(Dense("head", classes))
+    g.add(Softmax("prob"))
+    return g

@@ -1,0 +1,53 @@
+"""repro.fuzz: the differential scenario-universe fuzzer.
+
+The subsystem has five pieces, composable from the CLI (``haxconn
+fuzz``) or directly:
+
+* :mod:`repro.fuzz.universe` -- seeded scenario generation over the
+  widened `(platform, workload mix, SLOs, arrivals)` space, including
+  the transformer zoo entry and the >2-DSA NPU platforms;
+* :mod:`repro.fuzz.oracle` -- the differential oracle stack run on
+  every scenario (solver agreement, exhaustive enumeration,
+  certificates, evaluator byte-identity, baseline dominance);
+* :mod:`repro.fuzz.shrink` -- greedy deterministic reduction of
+  failures to minimal reproducers;
+* :mod:`repro.fuzz.corpus` -- JSON persistence + replay of the
+  regression corpus;
+* :mod:`repro.fuzz.runner` -- seed-range campaigns with a SHA-256
+  digest certifying run-to-run byte-identity;
+* :mod:`repro.fuzz.replay` -- routing surviving scenarios into the
+  serving layer as replayable multi-tenant workloads.
+"""
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    load_corpus,
+    replay_corpus,
+    save_entry,
+)
+from repro.fuzz.oracle import Discrepancy, OracleOutcome, run_oracles
+from repro.fuzz.runner import CampaignReport, SeedReport, run_campaign
+from repro.fuzz.shrink import ShrinkResult, shrink
+from repro.fuzz.universe import (
+    ScenarioSpec,
+    TenantSpec,
+    generate_scenario,
+)
+
+__all__ = [
+    "CampaignReport",
+    "CorpusEntry",
+    "Discrepancy",
+    "OracleOutcome",
+    "ScenarioSpec",
+    "SeedReport",
+    "ShrinkResult",
+    "TenantSpec",
+    "generate_scenario",
+    "load_corpus",
+    "replay_corpus",
+    "run_campaign",
+    "run_oracles",
+    "save_entry",
+    "shrink",
+]

@@ -1,0 +1,200 @@
+"""Greedy deterministic reduction of failing scenarios.
+
+A raw fuzz failure is rarely the story: a three-stream googlenet mix
+on a four-DSA platform with pipelines and SLOs has too many moving
+parts to debug.  :func:`shrink` walks a fixed ladder of reductions --
+drop a stream, clear the pipeline, collapse repeats, swap in simpler
+models, shrink the group budget, simplify the objective, retreat to
+the reference platform, neutralize the serving terms -- keeping a
+reduction only when the reduced scenario still trips the *same oracle
+check*.  The ladder loops to a fixed point, so the reproducer that
+lands in the corpus is minimal with respect to every pass.
+
+Determinism: the ladder order is fixed, candidates within a pass are
+tried in a fixed order, and the oracle itself is deterministic, so the
+same failure always shrinks to the same reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterator
+
+from repro.fuzz.oracle import OracleOutcome, run_oracles
+from repro.fuzz.universe import (
+    MODEL_SIMPLICITY,
+    ScenarioSpec,
+    TenantSpec,
+    platform_width,
+)
+
+#: hard cap on oracle invocations per shrink (each is a full solve)
+DEFAULT_SHRINK_BUDGET = 64
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The minimal reproducer plus the trail that led to it."""
+
+    original: ScenarioSpec
+    reduced: ScenarioSpec
+    outcome: OracleOutcome
+    #: human-readable reduction steps that were kept, in order
+    steps: tuple[str, ...]
+    oracle_calls: int
+
+
+def _signature(outcome: OracleOutcome) -> frozenset[str]:
+    return frozenset(d.check for d in outcome.discrepancies)
+
+
+def _drop_stream(spec: ScenarioSpec) -> Iterator[tuple[str, ScenarioSpec]]:
+    if len(spec.tenants) <= 1:
+        return
+    for i in range(len(spec.tenants)):
+        tenants = spec.tenants[:i] + spec.tenants[i + 1 :]
+        pipeline = tuple(
+            (u - (u > i), d - (d > i))
+            for u, d in spec.pipeline
+            if i not in (u, d)
+        )
+        yield (
+            f"drop stream {i} ({spec.tenants[i].model})",
+            replace(spec, tenants=tenants, pipeline=pipeline),
+        )
+
+
+def _clear_pipeline(spec: ScenarioSpec) -> Iterator[tuple[str, ScenarioSpec]]:
+    if spec.pipeline:
+        yield "clear pipeline", replace(spec, pipeline=())
+
+
+def _collapse_repeats(
+    spec: ScenarioSpec,
+) -> Iterator[tuple[str, ScenarioSpec]]:
+    if any(t.repeats != 1 for t in spec.tenants):
+        tenants = tuple(replace(t, repeats=1) for t in spec.tenants)
+        yield "repeats -> 1", spec.with_tenants(tenants)
+
+
+def _simplify_models(
+    spec: ScenarioSpec,
+) -> Iterator[tuple[str, ScenarioSpec]]:
+    for i, tenant in enumerate(spec.tenants):
+        if tenant.model not in MODEL_SIMPLICITY:
+            continue
+        rank = MODEL_SIMPLICITY.index(tenant.model)
+        for simpler in MODEL_SIMPLICITY[:rank]:
+            tenants = (
+                spec.tenants[:i]
+                + (replace(tenant, model=simpler),)
+                + spec.tenants[i + 1 :]
+            )
+            yield (
+                f"stream {i}: {tenant.model} -> {simpler}",
+                spec.with_tenants(tenants),
+            )
+
+
+def _shrink_groups(spec: ScenarioSpec) -> Iterator[tuple[str, ScenarioSpec]]:
+    for g in range(2, spec.max_groups):
+        yield f"max_groups {spec.max_groups} -> {g}", replace(
+            spec, max_groups=g
+        )
+
+
+def _simplify_objective(
+    spec: ScenarioSpec,
+) -> Iterator[tuple[str, ScenarioSpec]]:
+    if spec.objective != "latency":
+        yield f"objective {spec.objective} -> latency", replace(
+            spec, objective="latency"
+        )
+
+
+def _reference_platform(
+    spec: ScenarioSpec,
+) -> Iterator[tuple[str, ScenarioSpec]]:
+    if spec.platform == "orin":
+        return
+    if len(spec.tenants) > platform_width("orin") + 1:
+        return
+    yield f"platform {spec.platform} -> orin", replace(
+        spec, platform="orin"
+    )
+
+
+def _neutral_serving_terms(
+    spec: ScenarioSpec,
+) -> Iterator[tuple[str, ScenarioSpec]]:
+    neutral = tuple(
+        replace(t, rate_hz=30.0, slo_ms=None, arrivals="periodic")
+        for t in spec.tenants
+    )
+    if neutral != spec.tenants:
+        yield "neutral serving terms", spec.with_tenants(neutral)
+
+
+_PASSES: tuple[
+    Callable[[ScenarioSpec], Iterator[tuple[str, ScenarioSpec]]], ...
+] = (
+    _drop_stream,
+    _clear_pipeline,
+    _collapse_repeats,
+    _simplify_models,
+    _shrink_groups,
+    _simplify_objective,
+    _reference_platform,
+    _neutral_serving_terms,
+)
+
+
+def shrink(
+    spec: ScenarioSpec,
+    outcome: OracleOutcome | None = None,
+    *,
+    budget: int = DEFAULT_SHRINK_BUDGET,
+) -> ShrinkResult:
+    """Reduce ``spec`` to a minimal scenario with the same failure.
+
+    ``outcome`` is the already-computed oracle outcome for ``spec`` if
+    the caller has one (saves a solve).  Raises :class:`ValueError` if
+    the scenario does not actually fail the oracle.
+    """
+    calls = 0
+
+    def run(candidate: ScenarioSpec) -> OracleOutcome:
+        nonlocal calls
+        calls += 1
+        return run_oracles(candidate)
+
+    if outcome is None:
+        outcome = run(spec)
+    if outcome.ok:
+        raise ValueError(f"scenario {spec.name} passes the oracle stack")
+
+    target = _signature(outcome)
+    current, current_outcome = spec, outcome
+    steps: list[str] = []
+
+    improved = True
+    while improved and calls < budget:
+        improved = False
+        for cut in _PASSES:
+            for label, candidate in cut(current):
+                if calls >= budget:
+                    break
+                candidate_outcome = run(candidate)
+                if _signature(candidate_outcome) & target:
+                    current, current_outcome = candidate, candidate_outcome
+                    steps.append(label)
+                    improved = True
+                    break
+
+    return ShrinkResult(
+        original=spec,
+        reduced=current,
+        outcome=current_outcome,
+        steps=tuple(steps),
+        oracle_calls=calls,
+    )

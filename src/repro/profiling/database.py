@@ -120,9 +120,18 @@ class ProfileDB:
     # -- contention model ----------------------------------------------
     @property
     def pccs(self) -> PCCSModel:
-        """The platform's PCCS model (fitted lazily, cached)."""
+        """The platform's PCCS model (fitted lazily, cached).
+
+        Platforms with more than three DSAs (the MATCHA-style SoCs)
+        get slowdown surfaces up to their full client count, so a
+        four-stream schedule never has to snap down to the 3-client
+        table.
+        """
         if self._pccs is None:
-            self._pccs = calibrate_pccs(self.platform)
+            self._pccs = calibrate_pccs(
+                self.platform,
+                max_clients=max(3, len(self.platform.accelerators)),
+            )
         return self._pccs
 
     # -- persistence -----------------------------------------------------

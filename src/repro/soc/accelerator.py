@@ -32,9 +32,11 @@ GPU_KIND_EFF: Mapping[str, float] = MappingProxyType(
         "dwconv": 0.08,
         "deconv": 0.30,
         "fc": 0.50,
+        "matmul": 0.45,
         "pool": 0.08,
         "lrn": 0.10,
         "bn": 0.04,
+        "ln": 0.04,
         "act": 0.04,
         "eltwise": 0.04,
         "softmax": 0.03,
@@ -52,12 +54,39 @@ DSA_KIND_EFF: Mapping[str, float] = MappingProxyType(
         "dwconv": 0.30,
         "deconv": 0.20,
         "fc": 0.25,
+        "matmul": 0.10,
         "pool": 0.30,
         "lrn": 0.05,
         "bn": 0.10,
+        "ln": 0.08,
         "act": 0.10,
         "eltwise": 0.10,
         "softmax": 0.03,
+        "concat": 0.10,
+        "reshape": 1.0,
+        "dropout": 1.0,
+        "input": 1.0,
+    }
+)
+
+#: NPU core grids: a mesh of small MAC cores fed by DMA descriptors
+#: (the neuromorphic-SoC class of accelerator).  Dense matmul/conv map
+#: almost perfectly onto the grid; data-dependent normalizations and
+#: scatter-style ops run on the grid's scalar units and crawl.
+NPU_KIND_EFF: Mapping[str, float] = MappingProxyType(
+    {
+        "conv": 0.60,
+        "dwconv": 0.35,
+        "deconv": 0.10,
+        "fc": 0.55,
+        "matmul": 0.65,
+        "pool": 0.25,
+        "lrn": 0.05,
+        "bn": 0.15,
+        "ln": 0.12,
+        "act": 0.15,
+        "eltwise": 0.15,
+        "softmax": 0.08,
         "concat": 0.10,
         "reshape": 1.0,
         "dropout": 1.0,
@@ -162,3 +191,47 @@ class AcceleratorSpec:
 
     def __str__(self) -> str:
         return self.name
+
+
+def npu_core_grid(
+    name: str = "npu",
+    *,
+    cores: int = 512,
+    mac_lanes: int = 32,
+    clock_hz: float = 1.0e9,
+    outputs_per_core: int = 24,
+    standalone_bw_frac: float = 0.60,
+    active_power_w: float = 4.0,
+    unsupported_kinds: frozenset[str] = frozenset({"lrn", "deconv"}),
+) -> AcceleratorSpec:
+    """An NPU modeled as a DMA-fed grid of small MAC cores.
+
+    The class of accelerator the neuromorphic-SoC scheduling work
+    targets: ``cores`` identical processing elements, each with
+    ``mac_lanes`` multiply-accumulate lanes, tiled over the output
+    tensor.  Peak throughput is the grid's aggregate MAC rate
+    (2 FLOPs/MAC); saturation needs roughly one output tile per core
+    (``cores * outputs_per_core``), so the grid sits between the
+    narrow fixed-function DLA and the wide GPU in how much
+    parallelism it needs.  Descriptor-driven DMA dispatch makes the
+    per-unit launch overhead higher than the GPU's stream launch but
+    flush/reload cheap (state lives in the cores' local SRAM).
+    """
+    if cores <= 0 or mac_lanes <= 0 or clock_hz <= 0:
+        raise ValueError(f"{name}: core-grid parameters must be positive")
+    return AcceleratorSpec(
+        name=name,
+        family="npu",
+        peak_flops=2.0 * cores * mac_lanes * clock_hz,
+        kind_eff=NPU_KIND_EFF,
+        saturation_outputs=float(cores * outputs_per_core),
+        standalone_bw_frac=standalone_bw_frac,
+        launch_overhead_s=12e-6,
+        unsupported_kinds=unsupported_kinds,
+        kind_bw=MappingProxyType({"fc": 1.3, "matmul": 1.2, "concat": 0.6}),
+        act_traffic_factor=3.5,
+        flush_latency_s=8e-6,
+        load_latency_s=10e-6,
+        transition_bw_frac=0.25,
+        active_power_w=active_power_w,
+    )

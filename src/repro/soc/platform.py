@@ -26,6 +26,7 @@ from repro.soc.accelerator import (
     AcceleratorSpec,
     DSA_KIND_EFF,
     GPU_KIND_EFF,
+    npu_core_grid,
 )
 
 
@@ -96,9 +97,9 @@ class Platform:
 
     @property
     def dsa(self) -> AcceleratorSpec:
-        """The fixed-function DSA (DLA on NVIDIA, Hexagon on Qualcomm)."""
+        """The first non-GPU DSA (DLA, Hexagon DSP, or NPU core grid)."""
         for a in self.accelerators:
-            if a.family in ("dla", "dsp"):
+            if a.family in ("dla", "dsp", "npu"):
                 return a
         raise KeyError(f"platform {self.name} has no DSA")
 
@@ -128,7 +129,7 @@ class Platform:
 # NVDLA (we model it as unsupported).  Hexagon via SNPE behaves alike.
 # --------------------------------------------------------------------------
 
-_DLA_UNSUPPORTED = frozenset({"lrn", "softmax", "deconv"})
+_DLA_UNSUPPORTED = frozenset({"lrn", "softmax", "deconv", "matmul"})
 
 #: GPUs stream large FC weight matrices in sequential bursts well above
 #: the scattered-access conv fraction; DSAs handle FC and concat
@@ -296,16 +297,58 @@ def _trident() -> Platform:
     )
 
 
+def _matcha() -> Platform:
+    """A MATCHA-style 4-DSA SoC (extension).
+
+    MATCHA ("Efficient Deployment of DNNs on Multi-Accelerator
+    Heterogeneous Edge SoCs") argues for SoCs carrying *several*
+    heterogeneous DNN engines behind one memory controller.  Matcha
+    models that point in the design space: an Orin-class GPU and DLA
+    plus an NPU core grid (the neuromorphic-SoC accelerator class:
+    many small DMA-fed MAC cores, strong on dense matmul/conv, weak
+    on data-dependent ops) and a Hexagon-class DSP, all sharing
+    204.8 GB/s of DRAM.  Four concurrent clients push the EMC
+    arbitration further down the capacity curve than any 2-DSA
+    platform can.
+    """
+    base = _orin()
+    npu = npu_core_grid()
+    dsp = AcceleratorSpec(
+        name="dsp",
+        family="dsp",
+        peak_flops=3.0e12,
+        kind_eff=DSA_KIND_EFF,
+        saturation_outputs=8_000.0,
+        standalone_bw_frac=0.50,
+        launch_overhead_s=20e-6,
+        unsupported_kinds=_DLA_UNSUPPORTED,
+        kind_bw=_DSA_KIND_BW,
+        act_traffic_factor=4.0,
+        kernel_sweet_spot=4,
+        flush_latency_s=40e-6,
+        load_latency_s=35e-6,
+        transition_bw_frac=0.22,
+        active_power_w=2.5,
+    )
+    return Platform(
+        name="matcha",
+        accelerators=(*base.accelerators, npu, dsp),
+        dram_bandwidth=base.dram_bandwidth,
+        emc_capacity_frac=(1.0, 0.86, 0.80, 0.76, 0.72),
+    )
+
+
 _FACTORIES = {
     "orin": _orin,
     "xavier": _xavier,
     "sd865": _sd865,
     "trident": _trident,
+    "matcha": _matcha,
 }
 
 #: platforms without Table 5 reference data borrow their component
 #: scales from a calibrated sibling
-_CALIBRATION_PROXY = {"trident": "orin"}
+_CALIBRATION_PROXY = {"trident": "orin", "matcha": "orin"}
 
 
 def available_platforms() -> list[str]:

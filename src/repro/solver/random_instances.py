@@ -12,12 +12,21 @@ reproduces the same instance, optimum, and search trace on every
 platform.  Some instances are deliberately infeasible, and a fraction
 of objectives raise :class:`Infeasible` on a random forbidden
 assignment pattern, exercising the solvers' error paths.
+
+:func:`random_schedule_problem` generates the *schedule-shaped*
+variant: variables are streams whose domain values are segmented
+accelerator assignments (``("gpu", "gpu", "npu")``) over a pool that
+can exceed two DSAs, with transformer-style capability restrictions
+(``matmul`` segments only run on programmable engines) and pairwise
+same-accelerator contention costs -- the abstract twin of the widened
+platform universe the fuzzer sweeps.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.solver.problem import Assignment, Infeasible, Problem, Variable
 
@@ -103,6 +112,181 @@ def random_problem(
             return (
                 sum(partial.get(name, 0) for name in names) <= cap
             )
+
+        constraints.append(within_cap)
+
+    return Problem(
+        variables=[Variable(name, domains[name]) for name in names],
+        objective=objective,
+        constraints=constraints,
+        lower_bound=lower_bound,
+    )
+
+
+#: the widened accelerator pool (order fixed: prefixes of this tuple
+#: are the per-instance pools, so 2-accel instances are gpu+dla and
+#: 4-accel instances are MATCHA-style gpu+dla+npu+dsp)
+SCHEDULE_ACCEL_POOL: tuple[str, ...] = ("gpu", "dla", "npu", "dsp")
+
+#: engines that can execute attention (``matmul``) segments
+PROGRAMMABLE: frozenset[str] = frozenset({"gpu", "npu"})
+
+
+@dataclass(frozen=True)
+class ScheduleInstanceSpec:
+    """Shape parameters for :func:`random_schedule_problem`."""
+
+    #: maximum stream count (actual count is seeded in [2, streams])
+    streams: int = 3
+    #: maximum accelerator pool width (actual width in [2, accels])
+    accels: int = 4
+    #: maximum segments per stream (actual count in [1, groups])
+    groups: int = 3
+    #: probability that a stream carries a ``matmul`` segment
+    transformer: float = 0.5
+    #: probability that a GPU-capacity constraint is attached
+    constrained: float = 0.5
+    #: probability that one random full assignment raises Infeasible
+    trapped: float = 0.15
+
+
+def _segmented(
+    groups: int, accels: tuple[str, ...], capable: tuple[tuple[str, ...], ...]
+) -> tuple[tuple[str, ...], ...]:
+    """All capability-respecting assignments with at most 1 transition."""
+    out: list[tuple[str, ...]] = []
+    for first in accels:
+        whole = (first,) * groups
+        if all(whole[g] in capable[g] for g in range(groups)):
+            out.append(whole)
+        for second in accels:
+            if second == first:
+                continue
+            for split in range(1, groups):
+                cand = (first,) * split + (second,) * (groups - split)
+                if all(cand[g] in capable[g] for g in range(groups)):
+                    out.append(cand)
+    return tuple(dict.fromkeys(out))
+
+
+def random_schedule_problem(
+    seed: int, spec: ScheduleInstanceSpec | None = None
+) -> Problem:
+    """A reproducible schedule-shaped instance over a >=2-DSA pool.
+
+    Streams pay a per-segment base cost on their chosen engine, a
+    fixed cost per transition, and a pairwise contention surcharge
+    whenever two streams share an engine -- the same cost structure
+    (base + non-negative interactions) the scheduling core hands the
+    solvers, so certificates and bound admissibility carry over.
+    """
+    spec = spec or ScheduleInstanceSpec()
+    rng = random.Random(seed)
+    width = rng.randint(2, max(2, spec.accels))
+    accels = SCHEDULE_ACCEL_POOL[:width]
+    n = rng.randint(2, max(2, spec.streams))
+    names = [f"dnn{i}" for i in range(n)]
+
+    kinds: dict[str, tuple[str, ...]] = {}
+    domains: dict[str, tuple[tuple[str, ...], ...]] = {}
+    for name in names:
+        groups = rng.randint(1, max(1, spec.groups))
+        stream_kinds = tuple(
+            "matmul"
+            if rng.random() < spec.transformer and g == groups // 2
+            else "conv"
+            for g in range(groups)
+        )
+        capable = tuple(
+            tuple(
+                a
+                for a in accels
+                if kind != "matmul" or a in PROGRAMMABLE
+            )
+            for kind in stream_kinds
+        )
+        kinds[name] = stream_kinds
+        domains[name] = _segmented(groups, accels, capable)
+
+    # dla/dsp are slow on matmul-free segments too, but never free:
+    # base costs are engine- and segment-specific
+    base: dict[tuple[str, int, str], float] = {
+        (name, g, a): rng.uniform(1.0, 10.0)
+        * (0.4 if a == "gpu" else 1.0)
+        for name in names
+        for g in range(len(kinds[name]))
+        for a in accels
+    }
+    transition_cost = rng.uniform(0.1, 1.5)
+    clash: dict[tuple[str, str, str], float] = {
+        (names[i], names[j], a): rng.uniform(0.0, 5.0)
+        for i in range(n)
+        for j in range(i + 1, n)
+        for a in accels
+    }
+
+    def chain(name: str, assignment: tuple[str, ...]) -> float:
+        total = sum(
+            base[(name, g, a)] for g, a in enumerate(assignment)
+        )
+        transitions = sum(
+            1
+            for g in range(1, len(assignment))
+            if assignment[g] != assignment[g - 1]
+        )
+        return total + transition_cost * transitions
+
+    trap: dict[str, tuple[str, ...]] | None = None
+    if rng.random() < spec.trapped:
+        trap = {name: rng.choice(domains[name]) for name in names}
+
+    def objective(model: Assignment) -> float:
+        if trap is not None and all(
+            model.get(name) == value for name, value in trap.items()
+        ):
+            raise Infeasible("trapped assignment")
+        total = sum(chain(name, model[name]) for name in names)
+        for (ni, nj, a), cost in clash.items():
+            if a in model[ni] and a in model[nj]:
+                total += cost
+        return total
+
+    min_chain = {
+        name: min(chain(name, value) for value in domains[name])
+        for name in names
+    }
+
+    def lower_bound(partial: Assignment) -> float:
+        total = 0.0
+        for name in names:
+            if name in partial:
+                total += chain(name, partial[name])
+            else:
+                total += min_chain[name]
+        for (ni, nj, a), cost in clash.items():
+            if (
+                ni in partial
+                and nj in partial
+                and a in partial[ni]
+                and a in partial[nj]
+            ):
+                total += cost
+        return total
+
+    constraints: list[Callable[[Assignment], bool]] = []
+    if rng.random() < spec.constrained:
+        # monotone GPU-capacity constraint: at most `cap` streams may
+        # touch the GPU.  cap == 0 with a matmul-only stream on a
+        # 2-wide pool is genuinely infeasible -- intentional.
+        cap = rng.randint(0, n - 1)
+
+        def within_cap(partial: Assignment) -> bool:
+            used = sum(
+                1
+                for name in names
+                if name in partial and "gpu" in partial[name]
+            )
+            return used <= cap
 
         constraints.append(within_cap)
 

@@ -1,0 +1,132 @@
+"""Contention modeling on the 4-DSA ``matcha`` platform.
+
+The widened universe adds an NPU client to the shared-memory picture:
+PCCS must fit slowdown surfaces up to four co-running clients, the
+NPU must behave as a first-class EMC client in the engine's FCFS
+arbitration, and four-way co-runs must still reach the bandwidth
+fixed point deterministically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contention.pccs import calibrate_pccs
+from repro.soc.engine import Engine, SimTask
+from repro.soc.platform import get_platform
+
+
+@pytest.fixture(scope="module")
+def matcha():
+    return get_platform("matcha")
+
+
+@pytest.fixture(scope="module")
+def pccs4(matcha):
+    return calibrate_pccs(matcha, grid_points=8, max_clients=4)
+
+
+class TestFourClientPccs:
+    def test_tables_up_to_four_clients(self, pccs4):
+        assert set(pccs4.tables) == {2, 3, 4}
+
+    def test_surfaces_at_least_one(self, pccs4):
+        for table in pccs4.tables.values():
+            assert (table >= 1.0 - 1e-9).all()
+
+    def test_more_clients_never_helps(self, pccs4, matcha):
+        bw = matcha.dram_bandwidth
+        two = pccs4.slowdown(0.4 * bw, [0.3 * bw])
+        three = pccs4.slowdown(0.4 * bw, [0.3 * bw] * 2)
+        four = pccs4.slowdown(0.4 * bw, [0.3 * bw] * 3)
+        assert two <= three + 1e-9
+        assert three <= four + 1e-9
+
+    def test_four_client_table_monotone_in_external(self, pccs4):
+        diffs = np.diff(pccs4.tables[4], axis=1)
+        assert (diffs >= -1e-6).all()
+
+    def test_deterministic_refit(self, matcha):
+        again = calibrate_pccs(matcha, grid_points=8, max_clients=4)
+        for n, table in again.tables.items():
+            assert np.array_equal(table, calibrate_pccs(
+                matcha, grid_points=8, max_clients=4
+            ).tables[n])
+            assert table.shape == calibrate_pccs(
+                matcha, grid_points=8, max_clients=4
+            ).tables[n].shape
+
+
+def _task(tid, accel, bw_frac, platform, compute_s=10e-3):
+    bw = platform.dram_bandwidth
+    return SimTask(
+        task_id=tid,
+        accel=accel,
+        compute_s=compute_s,
+        dram_bytes=bw_frac * bw * compute_s,
+        max_bw=bw_frac * bw,
+    )
+
+
+class TestEngineFourWay:
+    def test_npu_is_an_emc_client(self, matcha):
+        """A co-running NPU task slows a GPU task down; FCFS order on
+        the NPU's own queue is preserved."""
+        engine = Engine(matcha)
+        alone = engine.run(
+            [_task("g0", "gpu", 0.5, matcha)]
+        )["g0"]
+        corun = engine.run(
+            [
+                _task("g0", "gpu", 0.5, matcha),
+                _task("n0", "npu", 0.5, matcha),
+            ]
+        )
+        assert corun["g0"].end > alone.end - 1e-12
+        assert corun["g0"].slowdown >= 1.0
+        assert corun["n0"].slowdown >= 1.0
+
+    def test_npu_queue_is_fcfs(self, matcha):
+        engine = Engine(matcha)
+        timeline = engine.run(
+            [
+                _task("n0", "npu", 0.3, matcha),
+                _task("n1", "npu", 0.3, matcha),
+                _task("n2", "npu", 0.3, matcha),
+            ]
+        )
+        r = timeline
+        assert r["n0"].end <= r["n1"].start + 1e-12
+        assert r["n1"].end <= r["n2"].start + 1e-12
+
+    def test_four_way_fixed_point(self, matcha):
+        """gpu+dla+npu+dsp co-run: allocations settle, bandwidth is
+        conserved, and everything slows down vs running alone."""
+        engine = Engine(matcha)
+        tasks = [
+            _task("g", "gpu", 0.45, matcha),
+            _task("d", "dla", 0.35, matcha),
+            _task("n", "npu", 0.40, matcha),
+            _task("s", "dsp", 0.30, matcha),
+        ]
+        timeline = engine.run(tasks)
+        for t in tasks:
+            rec = timeline[t.task_id]
+            assert rec.slowdown >= 1.0 - 1e-9
+            assert rec.end > rec.start
+        # total requested 1.5x of DRAM: someone must actually stall
+        assert any(
+            timeline[t.task_id].slowdown > 1.05 for t in tasks
+        )
+
+    def test_four_way_run_is_deterministic(self, matcha):
+        tasks = [
+            _task("g", "gpu", 0.45, matcha),
+            _task("d", "dla", 0.35, matcha),
+            _task("n", "npu", 0.40, matcha),
+            _task("s", "dsp", 0.30, matcha),
+        ]
+        a = Engine(matcha).run(tasks)
+        b = Engine(matcha).run(tasks)
+        for tid in ("g", "d", "n", "s"):
+            assert a[tid].start == b[tid].start
+            assert a[tid].end == b[tid].end

@@ -1,0 +1,80 @@
+"""Campaign runner: digests, budgets, failure routing."""
+
+from __future__ import annotations
+
+import importlib
+import json
+
+from repro.fuzz.oracle import Discrepancy, OracleOutcome
+from repro.fuzz.runner import run_campaign
+
+runner_mod = importlib.import_module("repro.fuzz.runner")
+shrink_mod = importlib.import_module("repro.fuzz.shrink")
+
+
+def test_clean_campaign_digest_is_stable():
+    a = run_campaign(range(4))
+    b = run_campaign(range(4))
+    assert a.ok and b.ok
+    assert a.digest == b.digest
+    assert a.oracle_calls == 4
+    assert a.truncated_at is None
+
+
+def test_budget_truncates():
+    report = run_campaign(range(10), budget=2)
+    assert len(report.results) == 2
+    assert report.truncated_at == 2
+
+
+def test_stats_cover_the_widened_axes():
+    report = run_campaign(range(12))
+    stats = report.stats
+    assert stats["scenarios"] == 12
+    assert stats["transformer_scenarios"] >= 1
+    assert stats["multi_dsa_scenarios"] >= 1
+    assert stats["concurrent_schedules"] >= 1
+
+
+def test_report_is_json_serializable():
+    report = run_campaign(range(3))
+    payload = json.loads(json.dumps(report.to_dict()))
+    assert len(payload["results"]) == 3
+    assert payload["failures"] == []
+
+
+def test_failures_shrink_and_persist(monkeypatch, tmp_path):
+    """An injected failure flows: oracle -> shrink -> corpus artifact."""
+
+    def fake(spec, **kwargs):
+        failing = any(t.model == "googlenet" for t in spec.tenants)
+        return OracleOutcome(
+            spec=spec,
+            checks=("synthetic",),
+            discrepancies=(
+                (Discrepancy("synthetic", "injected"),) if failing else ()
+            ),
+            objective=1.0,
+            search_space=1,
+            serialized=False,
+            assignments=(),
+        )
+
+    monkeypatch.setattr(runner_mod, "run_oracles", fake)
+    monkeypatch.setattr(shrink_mod, "run_oracles", fake)
+    report = run_campaign(
+        range(4), shrink_failures=True, corpus_dir=tmp_path
+    )
+    # seed 0 draws googlenet twice, seeds 1-3 include googlenet mixes;
+    # at least one failure must have been shrunk and persisted
+    assert not report.ok
+    artifacts = sorted(tmp_path.glob("*.json"))
+    assert len(artifacts) == len(report.failures)
+    for entry in report.failures:
+        assert entry.steps  # shrinking happened
+        assert all(
+            t.model == "googlenet" for t in entry.spec.tenants
+        )
+    # failing seeds are visible in the per-seed results too
+    failed_seeds = {r.seed for r in report.results if not r.ok}
+    assert failed_seeds

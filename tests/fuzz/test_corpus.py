@@ -1,0 +1,73 @@
+"""Corpus persistence plus the checked-in regression replay.
+
+The ``corpus/`` directory next to this file is the regression corpus:
+scenarios that exercised real bugs while the widened universe was
+built.  Replaying them green in tier-1 keeps those bugs fixed.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    artifact_name,
+    load_corpus,
+    replay_corpus,
+    save_entry,
+)
+from repro.fuzz.universe import generate_scenario
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+def test_save_load_round_trip(tmp_path):
+    entry = CorpusEntry(
+        spec=generate_scenario(5),
+        discrepancies=(("exhaustive-agreement", "objective drift"),),
+        steps=("drop stream 1 (alexnet)",),
+    )
+    path = save_entry(entry, tmp_path)
+    assert path.name == artifact_name(entry.spec)
+    (loaded,) = load_corpus(tmp_path)
+    assert loaded.spec == entry.spec
+    assert loaded.discrepancies == entry.discrepancies
+    assert loaded.steps == entry.steps
+    assert loaded.path == path
+
+
+def test_load_missing_directory_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nope") == ()
+
+
+def test_checked_in_corpus_exists():
+    entries = load_corpus(CORPUS_DIR)
+    assert len(entries) >= 3
+    models = {m for e in entries for m in e.spec.models}
+    platforms = {e.spec.platform for e in entries}
+    assert "vit_tiny" in models
+    assert platforms & {"matcha", "trident"}
+
+
+@pytest.mark.parametrize(
+    "entry",
+    load_corpus(CORPUS_DIR),
+    ids=lambda e: e.path.name if e.path else "?",
+)
+def test_regression_corpus_replays_green(entry):
+    outcome = entry.replay()
+    assert outcome.ok, [d.describe() for d in outcome.discrepancies]
+
+
+def test_replay_corpus_helper(tmp_path):
+    save_entry(
+        CorpusEntry(
+            spec=generate_scenario(0), discrepancies=(), steps=()
+        ),
+        tmp_path,
+    )
+    ((entry, outcome),) = replay_corpus(tmp_path)
+    assert entry.spec.seed == 0
+    assert outcome.spec == entry.spec

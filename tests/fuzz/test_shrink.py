@@ -1,0 +1,115 @@
+"""Shrinker ladder semantics, tested against a synthetic oracle.
+
+The real oracle stack currently finds no bugs (that is the point), so
+these tests substitute a deterministic fake oracle with a known
+failure predicate and check the ladder reduces to the expected
+minimal reproducer.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.fuzz.oracle import Discrepancy, OracleOutcome
+from repro.fuzz.shrink import shrink
+from repro.fuzz.universe import ScenarioSpec, TenantSpec
+
+# the package re-exports the `shrink` *function*, which shadows the
+# submodule attribute -- resolve the real module for monkeypatching
+shrink_mod = importlib.import_module("repro.fuzz.shrink")
+
+
+def outcome_for(spec: ScenarioSpec, failing: bool) -> OracleOutcome:
+    return OracleOutcome(
+        spec=spec,
+        checks=("synthetic",),
+        discrepancies=(
+            (Discrepancy("synthetic", "injected failure"),)
+            if failing
+            else ()
+        ),
+        objective=1.0,
+        search_space=1,
+        serialized=False,
+        assignments=(),
+    )
+
+
+def install_fake_oracle(monkeypatch, predicate):
+    calls = []
+
+    def fake(spec, **kwargs):
+        calls.append(spec)
+        return outcome_for(spec, predicate(spec))
+
+    monkeypatch.setattr(shrink_mod, "run_oracles", fake)
+    return calls
+
+
+BIG = ScenarioSpec(
+    seed=7,
+    platform="matcha",
+    objective="throughput",
+    max_groups=4,
+    tenants=(
+        TenantSpec(model="googlenet", repeats=2, rate_hz=40.0,
+                   slo_ms=100.0, arrivals="bursty"),
+        TenantSpec(model="vit_tiny", repeats=2, rate_hz=40.0,
+                   slo_ms=None, arrivals="poisson"),
+    ),
+    pipeline=((0, 1),),
+)
+
+
+def test_shrinks_to_minimal_reproducer(monkeypatch):
+    """Failure tied to googlenet: everything else must fall away."""
+    install_fake_oracle(
+        monkeypatch, lambda s: any(t.model == "googlenet" for t in s.tenants)
+    )
+    result = shrink(BIG)
+    reduced = result.reduced
+    assert [t.model for t in reduced.tenants] == ["googlenet"]
+    assert reduced.pipeline == ()
+    assert all(t.repeats == 1 for t in reduced.tenants)
+    assert reduced.objective == "latency"
+    assert reduced.platform == "orin"
+    assert reduced.max_groups == 2
+    assert all(
+        (t.slo_ms, t.arrivals) == (None, "periodic")
+        for t in reduced.tenants
+    )
+    assert result.steps  # the trail is recorded
+    assert result.outcome.discrepancies
+
+
+def test_shrink_keeps_the_failure_signature(monkeypatch):
+    install_fake_oracle(monkeypatch, lambda s: len(s.tenants) >= 2)
+    result = shrink(BIG)
+    assert len(result.reduced.tenants) == 2  # dropping a stream heals it
+    assert result.outcome.discrepancies
+
+
+def test_shrink_is_deterministic(monkeypatch):
+    install_fake_oracle(
+        monkeypatch, lambda s: any(t.model == "googlenet" for t in s.tenants)
+    )
+    a = shrink(BIG)
+    b = shrink(BIG)
+    assert a.reduced == b.reduced
+    assert a.steps == b.steps
+
+
+def test_shrink_respects_budget(monkeypatch):
+    calls = install_fake_oracle(
+        monkeypatch, lambda s: any(t.model == "googlenet" for t in s.tenants)
+    )
+    shrink(BIG, budget=3)
+    assert len(calls) <= 3
+
+
+def test_shrink_rejects_passing_scenarios(monkeypatch):
+    install_fake_oracle(monkeypatch, lambda s: False)
+    with pytest.raises(ValueError):
+        shrink(BIG)

@@ -1,0 +1,132 @@
+"""The NPU core-grid accelerator and the 4-DSA ``matcha`` platform.
+
+MATCHA-style SoCs stack a programmable NPU and a DSP next to the
+GPU+DLA pair; these tests exercise the widened pipeline -- the core-
+grid roofline, capability pruning for attention layers, profiling,
+PCCS with four clients, scheduling, and execution -- end to end.
+"""
+
+import pytest
+
+from repro.core.haxconn import HaXCoNN, enumerate_assignments
+from repro.core.workload import Workload
+from repro.profiling.database import ProfileDB
+from repro.runtime.executor import run_schedule
+from repro.soc.accelerator import npu_core_grid
+from repro.soc.platform import get_platform
+
+
+@pytest.fixture(scope="module")
+def matcha():
+    return get_platform("matcha")
+
+
+@pytest.fixture(scope="module")
+def matcha_db(matcha):
+    return ProfileDB(matcha)
+
+
+class TestNpuSpec:
+    def test_core_grid_roofline(self):
+        npu = npu_core_grid(cores=512, mac_lanes=32, clock_hz=1.0e9)
+        assert npu.family == "npu"
+        assert npu.peak_flops == pytest.approx(2.0 * 512 * 32 * 1.0e9)
+        assert npu.saturation_outputs == pytest.approx(512 * 24)
+
+    def test_scaling_with_cores(self):
+        small = npu_core_grid(cores=128)
+        big = npu_core_grid(cores=1024)
+        assert big.peak_flops == pytest.approx(8 * small.peak_flops)
+        assert big.saturation_outputs > small.saturation_outputs
+
+    def test_matmul_is_supported(self):
+        npu = npu_core_grid()
+        assert "matmul" not in npu.unsupported_kinds
+        assert npu.kind_eff["matmul"] > npu.kind_eff["softmax"]
+
+
+class TestPlatform:
+    def test_four_accelerators(self, matcha):
+        assert matcha.accelerator_names == ("gpu", "dla", "npu", "dsp")
+
+    def test_npu_counts_as_dsa(self, matcha):
+        assert matcha.dsa.family in ("dla", "dsp", "npu")
+        families = {a.family for a in matcha.accelerators}
+        assert families == {"gpu", "dla", "npu", "dsp"}
+
+    def test_capacity_curve_covers_five_clients(self, matcha):
+        assert matcha.emc_capacity(5) < matcha.emc_capacity(3)
+
+    def test_listed_and_calibrated(self):
+        from repro.soc.platform import available_platforms
+
+        assert "matcha" in available_platforms()
+
+
+class TestProfiling:
+    def test_cnn_groups_cover_all_four_dsas(self, matcha_db):
+        profile = matcha_db.profile("resnet18", max_groups=6)
+        middle = profile.groups[2]
+        assert set(middle.time_s) == {"gpu", "dla", "npu", "dsp"}
+
+    def test_attention_groups_prune_to_programmable(self, matcha_db):
+        """MatMul-bearing groups can only run on gpu/npu."""
+        profile = matcha_db.profile("vit_tiny", max_groups=4)
+        attention = [
+            g
+            for g in profile.groups
+            if "matmul" in g.group.layer_kinds
+        ]
+        assert attention
+        for g in attention:
+            assert set(g.time_s) <= {"gpu", "npu"}
+
+    def test_pccs_fits_four_clients(self, matcha_db):
+        assert 4 in matcha_db.pccs.tables
+
+    def test_narrow_platforms_keep_three_client_tables(self, orin):
+        db = ProfileDB(orin)
+        assert 3 in db.pccs.tables
+        assert 4 not in db.pccs.tables
+
+
+class TestScheduling:
+    def test_domain_spans_programmable_engines_only(
+        self, matcha_db, matcha
+    ):
+        profile = matcha_db.profile("vit_tiny", max_groups=4)
+        domain = enumerate_assignments(
+            profile, matcha.accelerator_names, max_transitions=1
+        )
+        used = {a for assignment in domain for a in assignment}
+        assert used == {"gpu", "npu"}
+
+    def test_three_streams_schedule_and_run(self, matcha, matcha_db):
+        scheduler = HaXCoNN(
+            matcha, db=matcha_db, max_groups=4, max_transitions=1
+        )
+        workload = Workload.concurrent(
+            "vit_tiny", "resnet18", "alexnet", objective="latency"
+        )
+        result = scheduler.schedule(workload)
+        execution = run_schedule(result, matcha)
+        assert execution.latency_ms > 0
+        assert result.predicted.makespan == pytest.approx(
+            execution.makespan_s, rel=0.15
+        )
+
+    def test_never_worse_than_gpu_only(self, matcha, matcha_db):
+        from repro.core.baselines import gpu_only
+
+        scheduler = HaXCoNN(
+            matcha, db=matcha_db, max_groups=4, max_transitions=1
+        )
+        workload = Workload.concurrent(
+            "vit_tiny", "resnet18", "alexnet", objective="latency"
+        )
+        hax = run_schedule(scheduler.schedule(workload), matcha)
+        base = run_schedule(
+            gpu_only(workload, matcha, db=matcha_db, max_groups=4),
+            matcha,
+        )
+        assert hax.latency_ms <= base.latency_ms * 1.01

@@ -8,6 +8,7 @@ from repro.soc.platform import Platform, available_platforms, get_platform
 class TestRegistry:
     def test_registered_platforms(self):
         assert available_platforms() == [
+            "matcha",
             "orin",
             "sd865",
             "trident",

@@ -20,7 +20,13 @@ from repro.solver import (
     solve_exhaustive,
 )
 from repro.solver.problem import Infeasible, Problem
-from repro.solver.random_instances import InstanceSpec, random_problem
+from repro.solver.random_instances import (
+    InstanceSpec,
+    PROGRAMMABLE,
+    ScheduleInstanceSpec,
+    random_problem,
+    random_schedule_problem,
+)
 from repro.solver.smt import Optimizer, Unsatisfiable
 
 SEEDS = range(60)
@@ -147,6 +153,83 @@ def test_real_workload_agreement(xavier, xavier_db, models):
     )
     assert smt == pytest.approx(reference.best.objective)
     assert_monotone_feasible(problem, portfolio.incumbents)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_schedule_instance_agreement(seed):
+    """>2-DSA, transformer-bearing instances: one optimum everywhere."""
+    problem = random_schedule_problem(seed)
+    reference = solve_exhaustive(problem)
+    expected = (
+        reference.best.objective if reference.best is not None else None
+    )
+
+    bnb = BranchAndBound().solve(problem)
+    assert bnb.optimal
+    assert_monotone_feasible(problem, bnb.incumbents)
+
+    portfolio = PortfolioSolver(
+        workers=2, backend="serial", clock="nodes", sync_every=8
+    ).solve(problem)
+    assert portfolio.optimal
+
+    smt = optimizer_result(problem)
+
+    for label, got in (
+        ("bnb", bnb.best.objective if bnb.best else None),
+        (
+            "portfolio",
+            portfolio.best.objective if portfolio.best else None,
+        ),
+        ("smt", smt),
+    ):
+        if expected is None:
+            assert got is None, label
+        else:
+            assert got == pytest.approx(expected, rel=1e-12), label
+
+
+def test_schedule_instances_cover_widened_universe():
+    """The 60-seed batch must actually exercise the new axes."""
+    wide = transformer = segmented = 0
+    for seed in SEEDS:
+        problem = random_schedule_problem(seed)
+        accels = {
+            a for v in problem.variables for val in v.domain for a in val
+        }
+        if len(accels) > 2:
+            wide += 1
+        # a capability-restricted stream has fewer whole-network
+        # options than the pool is wide
+        for v in problem.variables:
+            wholes = {val for val in v.domain if len(set(val)) == 1}
+            if len(wholes) < len(accels):
+                transformer += 1
+                break
+        if any(
+            len(set(val)) > 1 for v in problem.variables for val in v.domain
+        ):
+            segmented += 1
+    assert wide >= 10
+    assert transformer >= 10
+    assert segmented >= 30
+
+
+def test_schedule_instance_determinism():
+    spec = ScheduleInstanceSpec(streams=4, accels=4, transformer=0.8)
+    for seed in (0, 7, 23):
+        a = random_schedule_problem(seed, spec)
+        b = random_schedule_problem(seed, spec)
+        assert [v.domain for v in a.variables] == [
+            v.domain for v in b.variables
+        ]
+        full = {v.name: v.domain[0] for v in a.variables}
+        if a.feasible(full) and b.feasible(full):
+            try:
+                assert a.evaluate(full) == b.evaluate(full)
+            except Infeasible:
+                with pytest.raises(Infeasible):
+                    b.evaluate(full)
 
 
 def test_all_infeasible_instance_agreement():

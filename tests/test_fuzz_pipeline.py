@@ -1,126 +1,57 @@
-"""Fuzz the whole pipeline with randomly generated networks.
+"""End-to-end fuzz pipeline through the :mod:`repro.fuzz` subsystem.
 
-Synthetic DNNs (random chains / residual / branchy blocks) flow through
-fusion -> grouping -> profiling -> scheduling -> execution; every stage
-must uphold its invariants for topologies nobody hand-picked.
+The original version of this module fuzzed synthetic DNN graphs
+through fusion/grouping/profiling in isolation (those properties now
+live in ``tests/dnn/test_synth.py``).  Since the scenario-universe
+fuzzer exists, the pipeline-level test is the real thing: seeded
+scenario -> differential oracle stack -> serving replay, with the
+campaign digest certifying that the whole chain is deterministic.
 """
 
+from __future__ import annotations
+
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.dnn.fusion import fuse
-from repro.dnn.grouping import group_layers
-from repro.dnn.numeric import NumericExecutor
-from repro.dnn.synth import synth_dnn
-from repro.profiling.profiler import profile_dnn
-
-SEEDS = st.integers(0, 10_000)
+from repro.fuzz import generate_scenario, run_campaign, run_oracles
+from repro.fuzz.replay import serve_scenario, tenants_for
 
 
-class TestSynthGraphs:
-    @given(seed=SEEDS)
-    def test_generated_graphs_validate(self, seed):
-        graph = synth_dnn(seed)
-        assert len(graph) >= 5
-        assert graph.output_shape.is_flat
+class TestScenarioPipeline:
+    @pytest.mark.parametrize("seed", [1, 4, 9])
+    def test_oracle_stack_end_to_end(self, seed):
+        """Generate -> profile -> solve -> verify -> cross-check."""
+        spec = generate_scenario(seed)
+        outcome = run_oracles(spec)
+        assert outcome.ok, [d.describe() for d in outcome.discrepancies]
+        # the adopted schedule is real: one assignment per stream,
+        # every engine drawn from the scenario's platform
+        assert len(outcome.assignments) == len(spec.tenants)
 
-    @given(seed=SEEDS)
-    def test_deterministic(self, seed):
-        a = synth_dnn(seed)
-        b = synth_dnn(seed)
-        assert [l.name for l in a.layers] == [l.name for l in b.layers]
-        assert a.total_flops == b.total_flops
+    def test_campaign_is_byte_identical(self):
+        a = run_campaign(range(6))
+        b = run_campaign(range(6))
+        assert a.ok
+        assert a.digest == b.digest
 
-    @given(seed=SEEDS)
-    def test_fusion_covers_graph(self, seed):
-        graph = synth_dnn(seed)
-        units = fuse(graph)
-        names = sorted(l.name for u in units for l in u)
-        assert names == sorted(l.name for l in graph.compute_layers)
-        assert sum(u.flops for u in units) == graph.total_flops
+    def test_surviving_scenario_serves(self):
+        """A vetted scenario replays through the serving loop."""
+        spec = generate_scenario(2)
+        assert run_oracles(spec).ok
+        tenants = tenants_for(spec)
+        assert len(tenants) == len(spec.tenants)
+        report = serve_scenario(spec, horizon_s=0.2)
+        assert len(report.requests) > 0
+        served_tenants = {r.tenant for r in report.requests}
+        assert served_tenants <= {t.name for t in tenants}
 
-    @given(seed=SEEDS)
-    def test_grouping_partitions(self, seed):
-        graph = synth_dnn(seed)
-        groups = group_layers(graph, max_groups=6)
-        assert 1 <= len(groups) <= 6
-        assert sum(g.num_layers for g in groups) == len(graph)
-        assert sum(g.flops for g in groups) == graph.total_flops
-
-    @settings(max_examples=10)
-    @given(seed=st.integers(0, 500))
-    def test_numeric_shapes_agree(self, seed):
-        """Every intermediate tensor of a random net matches the IR's
-        shape inference (the executor raises otherwise)."""
-        graph = synth_dnn(seed, input_hw=16, max_blocks=4)
-        out = NumericExecutor(graph).run()
-        assert out.ndim == 1
-
-
-class TestSynthProfiling:
-    @settings(max_examples=10)
-    @given(seed=st.integers(0, 500))
-    def test_profiles_stay_physical(self, seed, xavier):
-        graph = synth_dnn(seed)
-        profile = profile_dnn(graph, xavier, max_groups=5)
-        for group in profile:
-            for accel, t in group.time_s.items():
-                assert t > 0
-                assert (
-                    group.req_bw[accel]
-                    <= xavier.dram_bandwidth + 1e-6
-                )
-
-
-class TestSynthScheduling:
-    @pytest.mark.parametrize("seed", [1, 17, 99])
-    def test_end_to_end_never_worse_than_serial(
-        self, seed, xavier, xavier_db
-    ):
-        from repro.core.haxconn import HaXCoNN
-        from repro.core.workload import Workload, WorkloadDNN
-        from repro.profiling.profiler import concat_profiles
-        from repro.runtime.executor import run_schedule
-
-        # register the synthetic graphs in the db cache by profiling
-        # them directly (they are not zoo models)
-        g1 = synth_dnn(seed, name=f"synthA{seed}")
-        g2 = synth_dnn(seed + 1, name=f"synthB{seed}")
-        p1 = profile_dnn(g1, xavier, max_groups=5)
-        p2 = profile_dnn(g2, xavier, max_groups=5)
-        scheduler = HaXCoNN(
-            xavier, db=xavier_db, max_groups=5, max_transitions=1
-        )
-        workload = Workload(
-            dnns=(
-                WorkloadDNN.of(g1.name),
-                WorkloadDNN.of(g2.name),
-            ),
-            objective="latency",
-        )
-        # bypass the zoo-backed db: build the formulation directly
-        from repro.core.formulation import Formulation
-
-        formulation = Formulation(
-            (concat_profiles([p1]), concat_profiles([p2])),
-            (1, 1),
-            "latency",
-            scheduler.contention_model,
-        )
-        problem_sched = scheduler.result_from_assignments(
-            workload,
-            formulation,
-            [
-                tuple("gpu" for _ in range(len(p1))),
-                tuple(
-                    "dla" if "dla" in g.time_s else "gpu"
-                    for g in p2.groups
-                ),
-            ],
-        )
-        execution = run_schedule(problem_sched, xavier)
-        assert execution.latency_ms > 0
-        assert execution.makespan_s == pytest.approx(
-            problem_sched.predicted.makespan, rel=0.15
-        )
+    def test_serving_replay_is_deterministic(self):
+        spec = generate_scenario(2)
+        a = serve_scenario(spec, horizon_s=0.15)
+        b = serve_scenario(spec, horizon_s=0.15)
+        assert [
+            (r.tenant, r.arrival_s, r.start_s, r.finish_s)
+            for r in a.requests
+        ] == [
+            (r.tenant, r.arrival_s, r.start_s, r.finish_s)
+            for r in b.requests
+        ]
