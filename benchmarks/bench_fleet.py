@@ -1,5 +1,5 @@
 """Sharded-fleet benchmark: throughput scaling, solve-store reuse,
-cross-backend determinism.
+cross-backend determinism, gossip transport.
 
 Tier-1 gates for the fleet acceptance criteria:
 
@@ -15,17 +15,27 @@ Tier-1 gates for the fleet acceptance criteria:
    of the store).
 3. **determinism** -- at a fixed seed the per-shard ``FleetReport``\\ s
    are byte-identical across the serial, thread, and fork backends.
+4. **transport** -- the shared-memory gossip transport (``shm``) must
+   deliver byte-identical per-shard reports to the pickled-queue
+   path with actual ring traffic, and its per-round wall time must
+   drop (lenient, retried: the payloads here are small, so the gate
+   only requires shm not to *lose*; the byte-identity and
+   ring-traffic assertions carry the correctness weight and run on
+   every attempt).
 
-Wall-clock ratios on shared CI hardware are noisy, so the two timing
+Wall-clock ratios on shared CI hardware are noisy, so the timing
 gates are retried a bounded number of times; the deterministic
-assertions (equal served counts, byte-identity, zero warm solves) are
-checked on every attempt -- a retry must never mask a correctness
-regression.  Results go to ``benchmarks/results/fleet.txt`` and
-``fleet.json``.
+assertions (equal served counts, byte-identity, zero warm solves,
+ring traffic) are checked on every attempt -- a retry must never mask
+a correctness regression.  Results go to
+``benchmarks/results/fleet.txt`` and ``fleet.json``.
 """
 
 import multiprocessing
 
+import pytest
+
+from repro.core import shm
 from repro.core.solve_store import SolveStore
 from repro.experiments import serving
 from repro.serve.fleet import Fleet
@@ -35,6 +45,10 @@ from repro.soc.platform import get_platform
 TPUT_RATIO = 3.0
 #: time-to-first-HaX-CoNN-incumbent: warm store vs cold
 TTF_RATIO = 2.0
+#: queue-vs-shm per-round wall time: shm must not lose by more than
+#: this factor (small-payload runs are noise-dominated; the identity
+#: and ring-traffic asserts are the hard gates)
+TRANSPORT_RATIO = 0.8
 ATTEMPTS = 3
 
 HORIZON_S = 0.12
@@ -47,7 +61,12 @@ def _parallel_backend() -> str:
     return "thread"
 
 
-def _run(shards: int, backend: str, store: SolveStore | None = None):
+def _run(
+    shards: int,
+    backend: str,
+    store: SolveStore | None = None,
+    transport: str = "auto",
+):
     fleet = Fleet(
         get_platform("xavier"),
         serving.fleet_tenants(),
@@ -57,6 +76,7 @@ def _run(shards: int, backend: str, store: SolveStore | None = None):
         router="balanced",
         sync_rounds=4,
         store=store,
+        transport=transport,
     )
     return fleet.run(horizon_s=HORIZON_S)
 
@@ -109,6 +129,52 @@ def _attempt(tmp_path, attempt: int):
     return reports, tput_ratio, ttf_ratio
 
 
+def _measure_transport():
+    """Gate 4: fork-shm vs fork-queue gossip.
+
+    Byte-identity and ring traffic are asserted on every attempt; the
+    per-round wall-time ratio is the retried lenient gate.
+    """
+    if _parallel_backend() != "fork":
+        pytest.skip("shm transport requires the fork start method")
+    if not shm.shared_memory_available():
+        pytest.skip("no usable shared memory on this host")
+    ratio = 0.0
+    result = None
+    for _attempt in range(ATTEMPTS):
+        rep_queue = _run(SHARDS, "fork", transport="queue")
+        rep_shm = _run(SHARDS, "fork", transport="shm")
+        # identity + traffic: checked on every attempt
+        assert rep_queue.transport == "queue"
+        assert rep_shm.transport == "shm"
+        assert (
+            rep_shm.describe_shards() == rep_queue.describe_shards()
+        ), "shm transport changed a shard report"
+        assert rep_shm.transport_stats["ring"] > 0, (
+            "no gossip actually rode the rings: "
+            f"{rep_shm.transport_stats}"
+        )
+        queue_round_ms = rep_queue.wall_s * 1e3 / max(1, rep_queue.rounds)
+        shm_round_ms = rep_shm.wall_s * 1e3 / max(1, rep_shm.rounds)
+        ratio = queue_round_ms / shm_round_ms
+        result = {
+            "round_wall_ms_queue": queue_round_ms,
+            "round_wall_ms_shm": shm_round_ms,
+            "round_wall_ratio_queue_over_shm": ratio,
+            "transport_threshold": TRANSPORT_RATIO,
+            "shm_ring_payloads": rep_shm.transport_stats["ring"],
+            "shm_inline_fallbacks": rep_shm.transport_stats["inline"],
+        }
+        if ratio >= TRANSPORT_RATIO:
+            return result
+    assert ratio >= TRANSPORT_RATIO, (
+        f"shm transport round wall time regressed: queue/shm ratio "
+        f"{ratio:.2f} < {TRANSPORT_RATIO} after {ATTEMPTS} attempts "
+        f"({result})"
+    )
+    return result
+
+
 def test_bench_fleet(save_report, save_json, tmp_path):
     reports = None
     for attempt in range(ATTEMPTS):
@@ -129,6 +195,7 @@ def test_bench_fleet(save_report, save_json, tmp_path):
         {"run": name, **serving.fleet_row(report)}
         for name, report in reports.items()
     ]
+    transport = _measure_transport()
     text = "\n\n".join(
         [
             serving.format_table(
@@ -151,5 +218,6 @@ def test_bench_fleet(save_report, save_json, tmp_path):
             "ttf_hax_ratio": ttf_ratio,
             "ttf_hax_threshold": TTF_RATIO,
             "rows": rows,
+            "transport": transport,
         },
     )

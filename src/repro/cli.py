@@ -188,6 +188,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             sync_rounds=args.sync_rounds,
             store=store,
+            transport=args.transport,
         )
         fleet_report = fleet.run(horizon_s=args.horizon)
         print(fleet_report.describe())
@@ -531,6 +532,15 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="serving rounds between fleet gossip epochs",
+    )
+    p.add_argument(
+        "--transport",
+        choices=("auto", "shm", "queue"),
+        default="auto",
+        help="gossip payload path under the fork backend: shared-"
+        "memory rings (shm), pickled queue messages (queue), or "
+        "shm-when-available (auto); reports are byte-identical "
+        "either way",
     )
     p.set_defaults(fn=_cmd_serve)
 

@@ -92,6 +92,13 @@ class EvalCounters:
     replayed_commits: int = 0
     batch_evals: int = 0
     batch_items: int = 0
+    #: frontier-batched evaluation (repro.core.frontier)
+    frontier_batches: int = 0
+    frontier_members: int = 0
+    #: members computed by the lockstep tensor path vs delegated to
+    #: the scalar engine (tiny frontiers, pipelines, serialized, ...)
+    frontier_lockstep: int = 0
+    frontier_fallback: int = 0
 
     def merge(self, other: "EvalCounters") -> None:
         for f in fields(self):
@@ -536,6 +543,29 @@ class EvalEngine:
             except ScheduleInfeasible as exc:
                 out.append(exc)
         return out
+
+    def evaluate_frontier(
+        self,
+        batch: Sequence[Sequence[Sequence[str]]],
+        *,
+        serialized: bool = False,
+        check_exclusive: bool = True,
+    ) -> list["EvaluationResult | Exception"]:
+        """Evaluate a B&B frontier in one lockstep NumPy batch.
+
+        Results are bit-identical to per-member :meth:`evaluate`
+        (infeasible members come back as exception instances in
+        place, the :meth:`evaluate_many` convention); the batching is
+        purely a throughput lever.  See :mod:`repro.core.frontier`.
+        """
+        from repro.core.frontier import evaluate_frontier
+
+        return evaluate_frontier(
+            self,
+            batch,
+            serialized=serialized,
+            check_exclusive=check_exclusive,
+        )
 
     def stats(self) -> dict[str, float]:
         out = self.counters.as_dict()
@@ -1029,19 +1059,7 @@ class EvalEngine:
         key = (active.shape[0], active.tobytes(), bw_bytes)
         s = self._s_cache.get(key)
         if s is None:
-            total_bw = active @ bw
-            n_clients = active.sum(axis=1)
-            ext = np.where(active, total_bw[:, None] - bw[None, :], 0.0)
-            own = np.broadcast_to(bw[None, :], active.shape)
-            s = np.ones(active.shape)
-            mask = active & (ext > 0)
-            if mask.any():
-                s[mask] = self._slowdown_cells(
-                    own[mask],
-                    ext[mask],
-                    np.broadcast_to(n_clients[:, None], active.shape)[mask],
-                )
-            _frozen(s)
+            s = self._s_matrix(active, bw)
             self._s_cache.put(key, s)
         else:
             c.slowdown_cache_hits += 1
@@ -1054,6 +1072,88 @@ class EvalEngine:
         # light damping stabilizes the fixed point when slowdowns
         # shift the overlap structure between iterations
         return 0.25 * previous + 0.75 * new
+
+    def _s_matrix(self, active: np.ndarray, bw: np.ndarray) -> np.ndarray:
+        """Per-interval slowdown matrix for one overlap structure.
+
+        The single implementation behind both the scalar path's
+        ``_slowdowns`` and the frontier batcher's per-member cache
+        misses -- sharing the code is what makes the two paths'
+        cache entries interchangeable bit-for-bit.
+        """
+        total_bw = active @ bw
+        n_clients = active.sum(axis=1)
+        ext = np.where(active, total_bw[:, None] - bw[None, :], 0.0)
+        own = np.broadcast_to(bw[None, :], active.shape)
+        s = np.ones(active.shape)
+        mask = active & (ext > 0)
+        if mask.any():
+            s[mask] = self._slowdown_cells(
+                own[mask],
+                ext[mask],
+                np.broadcast_to(n_clients[:, None], active.shape)[mask],
+            )
+        return _frozen(s)
+
+    def _s_matrix_many(
+        self, acts: list[np.ndarray], bws: list[np.ndarray]
+    ) -> list[np.ndarray]:
+        """`_s_matrix` for several overlap structures in one shot.
+
+        Structures are padded to a common interval count and run as
+        one elementwise tensor program whose per-structure rows carry
+        exactly the :meth:`_s_matrix` values: padding rows are
+        all-inactive (no cells, slowdown stays 1.0) and every
+        batched op is elementwise, except ``active @ bw``, which is
+        kept as the reference per-structure matmul so the float
+        reduction order cannot drift.  The contention-model cells are
+        funneled through a single :meth:`_slowdown_cells` call --
+        elementwise and per-triple memoized, so regrouping cells
+        across structures cannot change any value.
+        """
+        if not acts:
+            return []
+        m = len(acts)
+        n = len(bws[0])
+        ks = [act.shape[0] for act in acts]
+        kmax = max(ks)
+        a3 = np.zeros((m, kmax, n), dtype=bool)
+        tb = np.zeros((m, kmax))
+        for i, (act, bw) in enumerate(zip(acts, bws)):
+            a3[i, : ks[i]] = act
+            tb[i, : ks[i]] = act @ bw
+        bw2 = np.stack(bws)
+        n_clients = a3.sum(axis=2)
+        ext3 = np.where(a3, tb[:, :, None] - bw2[:, None, :], 0.0)
+        own3 = np.broadcast_to(bw2[:, None, :], a3.shape)
+        mask3 = a3 & (ext3 > 0)
+        s3 = np.ones(a3.shape)
+        own_c = own3[mask3]
+        if len(own_c):
+            ext_c = ext3[mask3]
+            ncl_c = np.broadcast_to(n_clients[:, :, None], a3.shape)[mask3]
+            # dedup triples vectorially before the per-cell memo: the
+            # same (own, ext, n_clients) triple recurs across cells
+            # and `_slowdown_cells` is elementwise, so evaluating one
+            # representative per distinct triple and scattering back
+            # returns the same cells in the same order
+            trip = np.ascontiguousarray(
+                np.stack([own_c, ext_c, ncl_c * 1.0], axis=1)
+            )
+            vt = trip.view(
+                np.dtype((np.void, trip.dtype.itemsize * 3))
+            ).ravel()
+            _, first, inv = np.unique(
+                vt, return_index=True, return_inverse=True
+            )
+            vals = self._slowdown_cells(
+                own_c[first], ext_c[first], ncl_c[first]
+            )
+            s3[mask3] = vals[inv]
+        return [
+            _frozen(np.ascontiguousarray(s3[i, : ks[i]]))
+            for i in range(m)
+        ]
 
     def _slowdown_cells(
         self,

@@ -304,6 +304,24 @@ class Formulation:
             batch, serialized=serialized, check_exclusive=check_exclusive
         )
 
+    def evaluate_frontier(
+        self,
+        batch: Sequence[Sequence[Sequence[str]]],
+        *,
+        serialized: bool = False,
+        check_exclusive: bool = True,
+    ) -> "list[EvaluationResult | Exception]":
+        """Evaluate a B&B frontier as one lockstep NumPy batch.
+
+        Same calling convention and bit-identical results as
+        :meth:`evaluate_many`; siblings sharing all but one decision
+        are batched through the tensor event loop and contention
+        fixed point (:mod:`repro.core.frontier`).
+        """
+        return self.engine.evaluate_frontier(
+            batch, serialized=serialized, check_exclusive=check_exclusive
+        )
+
     def evaluate_scratch(
         self,
         assignments: Sequence[Sequence[str]],

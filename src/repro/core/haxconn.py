@@ -120,7 +120,8 @@ class HaXCoNN:
         contention-oblivious baselines and any caller warm starts), or
         a callable ``solver(problem, initial=..., on_incumbent=...)``
         returning a :class:`SolveResult` (for tests and experiments).
-    solver_workers / solver_seed / solver_backend / solver_clock:
+    solver_workers / solver_seed / solver_backend / solver_clock /
+    solver_transport:
         Portfolio configuration, ignored for ``"bnb"``; see
         :class:`~repro.solver.portfolio.PortfolioSolver`.
     """
@@ -144,6 +145,7 @@ class HaXCoNN:
         solver_seed: int = 0,
         solver_backend: str = "auto",
         solver_clock: str = "wall",
+        solver_transport: str = "auto",
         verify: bool = False,
     ) -> None:
         self.platform = (
@@ -172,6 +174,7 @@ class HaXCoNN:
         self.solver_seed = solver_seed
         self.solver_backend = solver_backend
         self.solver_clock = solver_clock
+        self.solver_transport = solver_transport
         #: evaluation-engine counters, accumulated across every
         #: formulation this scheduler builds (D-HaX-CoNN re-solves
         #: mixes online, so per-formulation counters would reset on
@@ -297,6 +300,19 @@ class HaXCoNN:
                 [assignment[f"dnn{n}"] for n in range(len(domains))]
             )
             return result.objective
+
+        def frontier_evaluate(assignments) -> None:
+            # memo-prewarm only: evaluate_frontier stores every
+            # member's result (or ScheduleInfeasible) in the engine
+            # memo under the same key objective() reads, bit-identical
+            # to the scalar path -- so the solver's later objective()
+            # calls are memo hits and the search tree is unchanged
+            formulation.evaluate_frontier(
+                [
+                    [a[f"dnn{n}"] for n in range(len(domains))]
+                    for a in assignments
+                ]
+            )
 
         min_energy = None
         if formulation.objective == "energy":
@@ -454,6 +470,7 @@ class HaXCoNN:
             constraints=constraints,
             lower_bound=lower_bound,
             child_bounds=child_bounds,
+            frontier_evaluate=frontier_evaluate,
         )
 
     def dominance_reduced(
@@ -512,6 +529,7 @@ class HaXCoNN:
             # the table closure indexes by value, so reduced domains
             # (subsets of the full ones) gather correctly
             child_bounds=problem.child_bounds,
+            frontier_evaluate=problem.frontier_evaluate,
         )
 
     def contention_oblivious_seeds(
@@ -683,6 +701,7 @@ class HaXCoNN:
                 seed=self.solver_seed,
                 backend=self.solver_backend,
                 clock=self.solver_clock,
+                transport=self.solver_transport,
                 # workers trade evaluation-memo entries at epoch syncs
                 # and the parent keeps the union, so D-HaX-CoNN's next
                 # re-solve of a similar mix starts memo-warm

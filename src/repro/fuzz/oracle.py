@@ -22,6 +22,11 @@ between the independent paths is a bug somewhere:
 ``evaluate-byte-identity``
     The memoized incremental evaluator vs the from-scratch reference
     on the adopted assignments -- bit-for-bit equal fields and items.
+``frontier-byte-identity``
+    The lockstep frontier batch (``evaluate_frontier``) over sibling
+    variations of the adopted assignment vs the per-member scratch
+    reference -- equal fields for feasible members, equal exception
+    type and message for infeasible ones.
 ``baseline-dominance``
     The adopted schedule never loses to the serialized GPU-only
     fallback *under the same formulation*.
@@ -273,6 +278,41 @@ def run_oracles(
     else:
         for diff in _identical(fast, scratch):
             flag("evaluate-byte-identity", diff)
+
+    # -- frontier batch vs scalar reference ----------------------------
+    checks.append("frontier-byte-identity")
+    # a genuine sibling frontier: stream 0 sweeps its domain, the
+    # other streams keep the adopted assignment (the shape bnb's
+    # leaf-frontier prewarm hands the batched evaluator)
+    siblings = [
+        [tuple(value), *assignments[1:]]
+        for value in problem.variables[0].domain[:12]
+    ]
+    batched = formulation.evaluate_frontier(
+        siblings, serialized=serialized, check_exclusive=False
+    )
+    for j, (member, got) in enumerate(zip(siblings, batched)):
+        try:
+            ref = formulation.evaluate_scratch(
+                member, serialized=serialized, check_exclusive=False
+            )
+        except ScheduleInfeasible as exc:
+            if type(got) is not type(exc) or str(got) != str(exc):
+                flag(
+                    "frontier-byte-identity",
+                    f"member {j}: frontier {got!r} != scratch "
+                    f"infeasibility {exc!r}",
+                )
+            continue
+        if isinstance(got, Exception):
+            flag(
+                "frontier-byte-identity",
+                f"member {j}: frontier raised {got!r} where scratch "
+                "evaluated",
+            )
+            continue
+        for diff in _identical(got, ref):
+            flag("frontier-byte-identity", f"member {j}: {diff}")
 
     # -- baseline differentials ----------------------------------------
     checks.append("baseline-dominance")

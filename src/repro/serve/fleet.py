@@ -229,6 +229,7 @@ def _run_shard(
     inbox: Any,
     outbox: Any,
     shard_id: int,
+    channel: tuple[Any, Any] | None = None,
 ) -> None:
     """Shard worker: serve in lockstep epochs, gossiping solve deltas.
 
@@ -239,7 +240,18 @@ def _run_shard(
     start from an identical fresh state (under fork the factory's
     closed-over profile database is inherited copy-on-write, so no
     shard re-profiles).
+
+    ``channel`` is the shard's fork-inherited ``(up, down)``
+    :class:`repro.core.shm.DeltaChannel` pair: bulk gossip payloads
+    ride the shared-memory rings and only fixed-size tokens cross the
+    control queues.  ``None`` keeps payloads inline on the queues.
     """
+
+    def packed(delta: tuple[Any, ...]) -> Any:
+        if channel is not None and delta:
+            return channel[0].pack(delta)
+        return delta
+
     try:
         policy = policy_factory(shard_id)
         policy.merge(initial_delta)
@@ -263,14 +275,14 @@ def _run_shard(
                     (
                         _DONE,
                         shard_id,
-                        delta,
+                        packed(delta),
                         _shard_outcome(
                             shard_id, tenants, session, wall_start
                         ),
                     )
                 )
                 return
-            outbox.put((_SYNC, shard_id, delta))
+            outbox.put((_SYNC, shard_id, packed(delta)))
             reply = inbox.get()
             if reply[0] == "stop":  # a peer failed: report and exit
                 outbox.put(
@@ -284,7 +296,10 @@ def _run_shard(
                     )
                 )
                 return
-            policy.merge(reply[1])
+            payload = reply[1]
+            if channel is not None and payload:
+                payload = channel[1].unpack(payload)
+            policy.merge(payload)
     except Exception as exc:  # surfaced by the parent, in shard order
         outbox.put((_ERROR, shard_id, repr(exc)))
 
@@ -300,6 +315,8 @@ class ShardedFleetReport:
         router: str,
         wall_s: float,
         store: SolveStore | None = None,
+        transport: str = "inproc",
+        transport_stats: Mapping[str, int] | None = None,
     ) -> None:
         self.outcomes = tuple(
             sorted(outcomes, key=lambda o: o.index)
@@ -308,6 +325,10 @@ class ShardedFleetReport:
         self.router = router
         self.wall_s = wall_s
         self.store_path = None if store is None else store.path
+        #: gossip-payload path actually used (``inproc``/``queue``/``shm``)
+        self.transport = transport
+        #: parent-side transport telemetry (ring vs inline-fallback)
+        self.transport_stats = dict(transport_stats or {})
 
     # -- aggregates ----------------------------------------------------
     @property
@@ -407,7 +428,8 @@ class ShardedFleetReport:
             )
         lines.append(
             f"fleet: {self.shards} shards ({self.backend} backend, "
-            f"{self.router} routing), {self.served} served / "
+            f"{self.router} routing, {self.transport} transport), "
+            f"{self.served} served / "
             f"{self.shed} shed in {self.rounds} rounds; "
             f"{self.solves} solves, {self.store_hits} store hits; "
             f"{self.wall_s * 1e3:.0f} ms wall, "
@@ -473,6 +495,17 @@ class Fleet:
         Optional :class:`SolveStore`: its contents seed every shard
         before the first round, and (when writable) the parent appends
         each epoch's gossip union -- single-writer by construction.
+    transport:
+        How gossip payloads cross the process boundary under the fork
+        backend.  ``"shm"`` moves them through per-shard
+        :class:`repro.core.shm.DeltaChannel` ring pairs (tokens on the
+        control queues, bytes in shared memory) and raises when shared
+        memory is unavailable or the backend is not fork; ``"queue"``
+        keeps the pickled-message path; ``"auto"`` (default) uses shm
+        when the fork backend runs and shared memory probes healthy,
+        else queue.  Thread and serial shards always exchange deltas
+        in-process.  The transport never changes report bytes -- only
+        how they travel.
     """
 
     def __init__(
@@ -490,6 +523,7 @@ class Fleet:
         sync_rounds: int = 8,
         gossip_limit: int = 256,
         store: SolveStore | None = None,
+        transport: str = "auto",
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -501,6 +535,11 @@ class Fleet:
         if normalized not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
+        if transport not in ("auto", "shm", "queue"):
+            raise ValueError(
+                f"unknown transport {transport!r}; "
+                "expected auto, shm, or queue"
             )
         names = [t.name for t in tenants]
         if len(set(names)) != len(names):
@@ -525,6 +564,7 @@ class Fleet:
         self.sync_rounds = sync_rounds
         self.gossip_limit = gossip_limit
         self.store = store
+        self.transport = transport
 
     # ------------------------------------------------------------------
     def _resolve_backend(self) -> str:
@@ -579,6 +619,13 @@ class Fleet:
         """Serve every request within ``horizon_s`` across all shards."""
         start = monotonic_s()
         backend = self._resolve_backend()
+        if self.transport == "shm" and backend != "fork":
+            raise ValueError(
+                "transport='shm' requires the fork backend; serial and "
+                "thread shards already share memory in-process"
+            )
+        self._transport_used = "inproc"
+        self._transport_stats = {"ring": 0, "inline": 0}
         assignment = self.router.assign(
             self.tenants, horizon_s=horizon_s, max_requests=max_requests
         )
@@ -610,6 +657,8 @@ class Fleet:
             router=self.router.mode,
             wall_s=monotonic_s() - start,
             store=self.store,
+            transport=self._transport_used,
+            transport_stats=dict(self._transport_stats),
         )
 
     # -- serial backend: in-process lockstep emulation ------------------
@@ -688,7 +737,25 @@ class Fleet:
         config: _ShardConfig,
         backend: str,
     ) -> dict[int, ShardOutcome]:
+        channels: dict[int, tuple[Any, Any]] | None = None
         if backend == "fork":
+            if self.transport != "queue":
+                # rings are created before fork so shards inherit the
+                # mappings; the parent unlinks them in the finally below
+                from repro.core import shm as _shm
+
+                if self.transport == "shm" and not (
+                    _shm.shared_memory_available()
+                ):
+                    raise RuntimeError(
+                        "transport='shm' requested but shared memory is "
+                        "unavailable on this host"
+                    )
+                if _shm.shared_memory_available():
+                    channels = {
+                        sid: _shm.make_channel_pair() for sid, _ in live
+                    }
+            self._transport_used = "shm" if channels is not None else "queue"
             ctx = multiprocessing.get_context("fork")
             inboxes = {sid: ctx.SimpleQueue() for sid, _ in live}
             outboxes = {sid: ctx.SimpleQueue() for sid, _ in live}
@@ -704,6 +771,7 @@ class Fleet:
                         inboxes[sid],
                         outboxes[sid],
                         sid,
+                        channels[sid] if channels is not None else None,
                     ),
                     daemon=True,
                 )
@@ -744,7 +812,13 @@ class Fleet:
                 if error is None:
                     error = (sid, msg[2])
                 return sid
-            epoch_deltas.extend(msg[2])
+            delta = msg[2]
+            if channels is not None and delta:
+                self._transport_stats[
+                    "ring" if delta[0] == "shm" else "inline"
+                ] += 1
+                delta = channels[sid][0].unpack(delta)
+            epoch_deltas.extend(delta)
             if kind == _DONE:
                 outcomes[sid] = msg[3]
                 return sid
@@ -764,9 +838,13 @@ class Fleet:
                 stop = error is not None
                 broadcast = tuple(epoch_deltas)
                 for sid in sorted(alive):
-                    inboxes[sid].put(
-                        ("stop",) if stop else ("delta", broadcast)
-                    )
+                    if stop:
+                        inboxes[sid].put(("stop",))
+                        continue
+                    payload: Any = broadcast
+                    if channels is not None and broadcast:
+                        payload = channels[sid][1].pack(broadcast)
+                    inboxes[sid].put(("delta", payload))
                 if stop:
                     for sid in sorted(alive):
                         while sid in alive:
@@ -780,6 +858,14 @@ class Fleet:
                 for r in runners:
                     if r.is_alive():
                         r.terminate()
+            if channels is not None:
+                for up, down in channels.values():
+                    self._transport_stats["ring"] += down.sent_ring
+                    self._transport_stats["inline"] += down.sent_inline
+                    up.close()
+                    up.unlink()
+                    down.close()
+                    down.unlink()
 
         if error is not None:
             sid, message = error
@@ -801,6 +887,7 @@ def serve_fleet(
     sync_rounds: int = 8,
     store: SolveStore | None = None,
     max_requests: int = 10_000,
+    transport: str = "auto",
 ) -> ShardedFleetReport:
     """One-call convenience wrapper around :class:`Fleet`."""
     fleet = Fleet(
@@ -814,5 +901,6 @@ def serve_fleet(
         contention=contention,
         sync_rounds=sync_rounds,
         store=store,
+        transport=transport,
     )
     return fleet.run(horizon_s=horizon_s, max_requests=max_requests)

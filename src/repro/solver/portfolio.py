@@ -165,6 +165,9 @@ def _permuted(problem: Problem, order: tuple[int, ...] | None) -> Problem:
         constraints=problem.constraints,
         lower_bound=problem.lower_bound,
         child_bounds=problem.child_bounds,
+        # value-keyed like child_bounds, so permuted branching orders
+        # feed it the same complete assignments
+        frontier_evaluate=problem.frontier_evaluate,
     )
 
 
@@ -179,6 +182,7 @@ def _run_worker(
     outbox: Any,
     wid: int,
     shared_state: SharedEvalState | None = None,
+    channel: tuple[Any, Any] | None = None,
 ) -> None:
     """Worker loop: search, report at sync points, obey stop/bound.
 
@@ -189,12 +193,22 @@ def _run_worker(
     problem's objective closes over, so adopted entries land directly
     in the evaluation hot path; under threads all workers already
     share one table and the exchange degenerates to a cheap no-op.
+
+    ``channel`` is the worker's fork-inherited ``(up, down)``
+    :class:`repro.core.shm.DeltaChannel` pair: bulk delta payloads ride
+    the shared-memory rings and only fixed-size tokens cross the
+    control queues.  ``None`` keeps payloads inline on the queues.
     """
     target = problem if strategy.exact or reduced is None else reduced
     pending: list[tuple[dict[str, Any], float, int]] = []
 
     def delta() -> tuple[Any, ...]:
-        return shared_state.export_delta() if shared_state is not None else ()
+        raw = (
+            shared_state.export_delta() if shared_state is not None else ()
+        )
+        if channel is not None and raw:
+            return channel[0].pack(raw)
+        return raw
 
     def on_incumbent(inc: Incumbent) -> None:
         pending.append((inc.assignment, inc.objective, inc.nodes_explored))
@@ -206,7 +220,11 @@ def _run_worker(
         if reply[0] == "stop":
             raise StopSearch
         if shared_state is not None and len(reply) > 2 and reply[2]:
-            shared_state.merge(reply[2])
+            payload = reply[2]
+            if channel is not None:
+                payload = channel[1].unpack(payload)
+            if payload:
+                shared_state.merge(payload)
         return reply[1]
 
     solver = BranchAndBound(
@@ -254,6 +272,11 @@ class PortfolioResult(SolveResult):
     backend: str = "serial"
     #: (label, root objective or None-if-infeasible) per warm start
     warm_starts: tuple[tuple[str, float | None], ...] = ()
+    #: epoch-payload path actually used: ``inproc`` (serial/threads),
+    #: ``queue`` (fork, pickled messages), or ``shm`` (fork, ring)
+    transport: str = "inproc"
+    #: parent-side transport telemetry (ring vs inline-fallback counts)
+    transport_stats: dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 class PortfolioSolver:
@@ -300,6 +323,17 @@ class PortfolioSolver:
         even under the fork backend, where worker memory is otherwise
         discarded.  Purely a speed channel: entries are bit-identical
         to recomputation, so results never depend on it.
+    transport:
+        How bulk epoch payloads (memo deltas and their broadcasts)
+        cross the process boundary under the fork backend: ``shm``
+        moves them through :class:`repro.core.shm.DeltaChannel`
+        shared-memory rings (control queues carry fixed-size tokens),
+        ``queue`` keeps them inline in the pickled control messages,
+        and ``auto`` (default) picks ``shm`` when the host supports
+        it.  Serial and thread backends always exchange in-process
+        references; requesting ``shm`` with those backends is an
+        error.  Purely a speed channel either way: payload *content*
+        and merge order are identical across transports.
     """
 
     def __init__(
@@ -317,6 +351,7 @@ class PortfolioSolver:
         greedy_sweeps: int = 1,
         strategies: Sequence[Strategy] | None = None,
         shared_state: SharedEvalState | None = None,
+        transport: str = "auto",
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -336,6 +371,9 @@ class PortfolioSolver:
             raise ValueError("greedy_sweeps must be >= 0")
         if strategies is not None and not strategies:
             raise ValueError("strategies must be non-empty when given")
+        if transport not in ("auto", "shm", "queue"):
+            raise ValueError(f"unknown transport {transport!r}")
+        self.transport = transport
         self.workers = workers
         self.time_budget_s = time_budget_s
         self.node_budget = node_budget
@@ -492,6 +530,11 @@ class PortfolioSolver:
                 dataclasses.replace(s, exact=True) for s in strategies
             )
         backend = self._resolve_backend(workers)
+        if self.transport == "shm" and backend != "fork":
+            raise ValueError(
+                "transport='shm' requires the fork backend; serial and "
+                "thread workers already share memory in-process"
+            )
         seed_assignment = dict(best.assignment) if best is not None else None
 
         # -- serial: a single seeded search, no racing -----------------
@@ -510,7 +553,24 @@ class PortfolioSolver:
             )
 
         # -- parallel: lockstep epoch race ------------------------------
+        channels = None
         if backend == "fork":
+            if self.transport != "queue":
+                # rings are created before fork so workers inherit the
+                # mappings; the parent unlinks them in the finally below
+                from repro.core import shm as _shm
+
+                if self.transport == "shm" and not (
+                    _shm.shared_memory_available()
+                ):
+                    raise RuntimeError(
+                        "transport='shm' requested but shared memory is "
+                        "unavailable on this host"
+                    )
+                if _shm.shared_memory_available():
+                    channels = [
+                        _shm.make_channel_pair() for _ in range(workers)
+                    ]
             ctx = multiprocessing.get_context("fork")
             inboxes = [ctx.SimpleQueue() for _ in range(workers)]
             outboxes = [ctx.SimpleQueue() for _ in range(workers)]
@@ -528,6 +588,7 @@ class PortfolioSolver:
                         outboxes[w],
                         w,
                         self.shared_state,
+                        channels[w] if channels is not None else None,
                     ),
                     daemon=True,
                 )
@@ -561,6 +622,7 @@ class PortfolioSolver:
         stats: dict[int, WorkerStats] = {}
         alive = set(range(workers))
         certified = False
+        transport_stats: dict[str, int] = {"ring": 0, "inline": 0}
         error: tuple[int, str] | None = None
         #: memo entries received this epoch, in worker-index order
         #: (deterministic merge order, like incumbents)
@@ -583,6 +645,14 @@ class PortfolioSolver:
             for assignment, objective, _wnodes in incumbents:
                 record(assignment, objective)
             delta = msg[3]
+            if channels is not None and delta:
+                # token in the queue message, payload in the worker's
+                # up-ring; ring FIFO + queue happens-before make this a
+                # deterministic single-reader drain
+                transport_stats[
+                    "ring" if delta[0] == "shm" else "inline"
+                ] += 1
+                delta = channels[wid][0].unpack(delta)
             if delta:
                 epoch_deltas.extend(delta)
                 if self.shared_state is not None:
@@ -615,13 +685,17 @@ class PortfolioSolver:
                 stop = certified or error is not None or over_time
                 broadcast = tuple(epoch_deltas)
                 for wid in sorted(alive):
+                    if stop:
+                        inboxes[wid].put(("stop",))
+                        continue
+                    payload: Any = broadcast
+                    if channels is not None and broadcast:
+                        payload = channels[wid][1].pack(broadcast)
                     inboxes[wid].put(
-                        ("stop",)
-                        if stop
-                        else (
+                        (
                             "bound",
                             best.objective if best is not None else None,
-                            broadcast,
+                            payload,
                         )
                     )
                 if stop:
@@ -637,6 +711,14 @@ class PortfolioSolver:
                 for r in runners:
                     if r.is_alive():
                         r.terminate()
+            if channels is not None:
+                for up, down in channels:
+                    transport_stats["ring"] += down.sent_ring
+                    transport_stats["inline"] += down.sent_inline
+                    up.close()
+                    up.unlink()
+                    down.close()
+                    down.unlink()
 
         if error is not None and best is None:
             wid, message = error
@@ -652,6 +734,12 @@ class PortfolioSolver:
             workers=tuple(stats[w] for w in sorted(stats)),
             backend=backend,
             warm_starts=tuple(warm_log),
+            transport=(
+                "shm"
+                if channels is not None
+                else ("queue" if backend == "fork" else "inproc")
+            ),
+            transport_stats=dict(transport_stats),
         )
 
     # ------------------------------------------------------------------
