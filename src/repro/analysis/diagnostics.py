@@ -144,13 +144,16 @@ class Certificate:
                 f"certificate OK ({len(self.checks_run)} checks:"
                 f" {', '.join(self.checks_run)}){obj}"
             )
+        core = self.core()
         lines = [
             f"certificate FAILED: {len(self.violations)} violation(s), "
-            f"core = {', '.join(str(v.kind) for v in self.core())}"
+            f"core = {', '.join(str(v.kind) for v in core)}"
         ]
-        core = set(map(id, self.core()))
+        # the core is exactly the violations of its (earliest failing)
+        # stage, so membership is a kind test -- no object identity
+        core_kind = core[0].kind if core else None
         for v in self.violations:
-            marker = "*" if id(v) in core else " "
+            marker = "*" if v.kind is core_kind else " "
             lines.append(f" {marker} {v.describe()}")
         return "\n".join(lines)
 

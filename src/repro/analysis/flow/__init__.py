@@ -1,0 +1,110 @@
+"""repro.analysis.flow: whole-program determinism-flow analysis.
+
+Three interlocking passes over ``src/repro`` (all AST-based; the
+analyzed code is never imported):
+
+1. **call graph + effect summaries** (:mod:`.callgraph`,
+   :mod:`.effects`) -- module-level call resolution including
+   ``from``-imports, method calls via class-attribute types, and
+   function-valued arguments handed to worker entry points; then
+   bottom-up fixpoint effect summaries (wall clock, unseeded RNG,
+   env/pid/``id()``, unordered iteration, filesystem reads);
+2. **determinism taint** (:mod:`.taint`) -- effect sources reaching
+   replicated sinks (gossip deltas, shm ring records, solve-store
+   entries, incumbent traces, campaign digests), rules
+   HAX101..HAX104, each finding carrying the full call chain;
+3. **shm/gossip protocol checker** (:mod:`.protocol`) -- per-function
+   abstract state machine over the ring API (HAX110) and merge-order
+   discipline at ``SharedEvalState.merge`` sites (HAX111).
+
+The CLI entry point is ``haxconn flow``; CI runs it against the
+checked-in ``tools/flow_baseline.json`` so new findings fail the
+build and the baseline count can only shrink.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    Package,
+    build_call_graph,
+    load_package,
+)
+from repro.analysis.flow.effects import (
+    EFFECTS,
+    EffectSite,
+    Summary,
+    chain_of,
+    collect_direct_effects,
+    summarize,
+)
+from repro.analysis.flow.protocol import (
+    ProtocolFinding,
+    run_protocol,
+)
+from repro.analysis.flow.report import (
+    FlowFinding,
+    FlowReport,
+    apply_baseline,
+    combine,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.flow.taint import (
+    DEFAULT_SINKS,
+    TaintFinding,
+    collect_sinks,
+    run_taint,
+    stale_sinks,
+)
+
+__all__ = [
+    "CallGraph",
+    "DEFAULT_SINKS",
+    "EFFECTS",
+    "EffectSite",
+    "FlowFinding",
+    "FlowReport",
+    "Package",
+    "ProtocolFinding",
+    "Summary",
+    "TaintFinding",
+    "analyze",
+    "apply_baseline",
+    "build_call_graph",
+    "chain_of",
+    "collect_direct_effects",
+    "collect_sinks",
+    "combine",
+    "load_baseline",
+    "load_package",
+    "run_protocol",
+    "run_taint",
+    "stale_sinks",
+    "summarize",
+    "write_baseline",
+]
+
+
+def analyze(
+    root: str | Path,
+    *,
+    package: str | None = None,
+    baseline_keys: Sequence[str] | None = None,
+) -> FlowReport:
+    """Run all three passes over a package tree and gate on a baseline.
+
+    ``root`` is the package directory (e.g. ``src/repro``); findings
+    are ordered deterministically, so two runs over the same tree
+    render byte-identical reports.
+    """
+    pkg = load_package(root, package=package)
+    graph = build_call_graph(pkg)
+    summaries = summarize(graph)
+    taint = run_taint(graph, summaries)
+    protocol = run_protocol(graph)
+    findings = combine(taint, protocol)
+    return apply_baseline(findings, baseline_keys or [])

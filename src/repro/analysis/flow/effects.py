@@ -1,0 +1,420 @@
+"""Per-function effect summaries, computed bottom-up to a fixpoint.
+
+The *effect lattice* is a powerset over five determinism-relevant
+effect kinds; a function's summary is the union of the effects its
+body performs directly and the summaries of everything it (maybe
+transitively, maybe through a callback) calls:
+
+==================  =================================================
+``wall-clock``      reads ``time.time``/``perf_counter``/... -- any
+                    value derived from it differs across runs
+``unseeded-rng``    draws from a process-global or seedless RNG
+``env-pid``         reads ``os.environ``/``os.getenv``, a pid, or an
+                    ``id()`` -- per-process values that leak host
+                    identity into results
+``unordered-iter``  iterates a ``set`` into an order-sensitive
+                    construct, or enumerates the filesystem without
+                    ``sorted()`` -- hash/OS order feeds the result
+``fs-read``         reads files or directory listings -- host state
+                    feeds the result
+==================  =================================================
+
+Direct effects deliberately *ignore* per-line lint waivers: a
+``haxlint: allow[HAX002]`` pragma sanctions the local read (the wall
+budget API), but the flow analysis still tracks where that value goes
+-- the whole point of the interprocedural pass is that a sanctioned
+source can still reach a sink it must never feed.  Sanctioned
+source->sink pairs live in the checked-in baseline instead.
+
+Each summary keeps, per effect kind, one *witness*: either the direct
+site, or the (deterministically chosen: shortest chain, then lowest
+qualname) callee whose summary carries the effect.  Witnesses chain,
+so a finding can quote the full call path from sink to source.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.analysis.flow.callgraph import (
+    CallGraph,
+    FunctionInfo,
+    ModuleInfo,
+    _dotted,
+)
+from repro.analysis.lint import (
+    _NUMPY_LEGACY_DRAWS,
+    _RANDOM_DRAWS,
+    _WALL_CLOCKS,
+)
+
+WALL_CLOCK = "wall-clock"
+UNSEEDED_RNG = "unseeded-rng"
+ENV_PID = "env-pid"
+UNORDERED_ITER = "unordered-iter"
+FS_READ = "fs-read"
+
+#: every effect kind, in reporting order
+EFFECTS = (WALL_CLOCK, UNORDERED_ITER, UNSEEDED_RNG, ENV_PID, FS_READ)
+
+#: canonical dotted names that read per-process / host identity
+_ENV_PID_CALLS = {
+    "os.getenv",
+    "os.getpid",
+    "os.getppid",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: canonical dotted names that enumerate the filesystem (OS order)
+_FS_LISTING_CALLS = {
+    "os.listdir",
+    "os.scandir",
+    "os.walk",
+    "glob.glob",
+    "glob.iglob",
+}
+
+#: attribute-method names that enumerate the filesystem on any object
+#: (``Path.iterdir`` etc.; heuristic by name, like the lint's mutators)
+_FS_LISTING_METHODS = {"iterdir", "glob", "rglob"}
+
+#: attribute-method names that read file contents on any object
+_FS_READ_METHODS = {"read_text", "read_bytes"}
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One direct effect occurrence inside one function."""
+
+    effect: str
+    qualname: str
+    path: str
+    line: int
+    detail: str
+
+
+@dataclass(frozen=True)
+class Witness:
+    """How one effect reaches one function's summary."""
+
+    site: EffectSite
+    #: callee whose summary carries the effect; None when direct
+    via: str | None
+    #: call-chain length from this function to the direct site
+    depth: int
+
+
+@dataclass
+class Summary:
+    """Effect kind -> witness, for one function."""
+
+    witnesses: dict[str, Witness] = field(default_factory=dict)
+
+    @property
+    def effects(self) -> tuple[str, ...]:
+        return tuple(e for e in EFFECTS if e in self.witnesses)
+
+
+class _SetScope:
+    """Set-typed variable inference for one function body (the same
+    statically-decidable subset the per-line lint uses)."""
+
+    def __init__(self) -> None:
+        self.set_vars: set[str] = set()
+
+    def is_set(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in {"set", "frozenset"}:
+                return True
+        if isinstance(node, ast.Name):
+            return node.id in self.set_vars
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(node.left) or self.is_set(node.right)
+        if isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            if node.func.attr in {
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            }:
+                return self.is_set(node.func.value)
+        return False
+
+    def note_assign(self, node: ast.Assign | ast.AnnAssign) -> None:
+        value = node.value
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            if value is not None and self.is_set(value):
+                self.set_vars.add(target.id)
+            else:
+                self.set_vars.discard(target.id)
+
+
+class _EffectCollector(ast.NodeVisitor):
+    """Direct effects of one function body (nested defs inlined)."""
+
+    def __init__(self, mod: ModuleInfo, fn: FunctionInfo) -> None:
+        self.mod = mod
+        self.fn = fn
+        self.scope = _SetScope()
+        self.sites: list[EffectSite] = []
+        #: call nodes appearing directly inside ``sorted(...)`` --
+        #: their OS enumeration order is fixed by the wrapper
+        self._sorted_args: set[int] = set()
+
+    def _report(self, effect: str, node: ast.AST, detail: str) -> None:
+        self.sites.append(
+            EffectSite(
+                effect=effect,
+                qualname=self.fn.qualname,
+                path=self.fn.path,
+                line=getattr(node, "lineno", self.fn.lineno),
+                detail=detail,
+            )
+        )
+
+    # -- assignments feed the set-variable inference -------------------
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self.scope.note_assign(node)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self.scope.note_assign(node)
+        self.generic_visit(node)
+
+    # -- unordered iteration -------------------------------------------
+    def _check_iter(self, iter_node: ast.expr, node: ast.AST, what: str) -> None:
+        if self.scope.is_set(iter_node):
+            self._report(
+                UNORDERED_ITER,
+                node,
+                f"{what} iterates a set in hash order",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, node, "for loop")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter, node, "list comprehension")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter, node, "dict comprehension")
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter, node, "generator expression")
+        self.generic_visit(node)
+
+    # -- attribute reads: os.environ -----------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        dotted = _dotted(node)
+        if dotted is not None:
+            resolved = self.mod.resolve(dotted)
+            if resolved == "os.environ" or resolved.startswith(
+                "os.environ."
+            ):
+                self._report(ENV_PID, node, "os.environ read")
+        self.generic_visit(node)
+
+    # -- calls ---------------------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if isinstance(node.func, ast.Name) and node.func.id == "sorted":
+            for arg in node.args:
+                if isinstance(arg, ast.Call):
+                    self._sorted_args.add(id(arg))
+        name = _dotted(node.func)
+        resolved = self.mod.resolve(name) if name is not None else None
+        if resolved is not None:
+            self._check_call(resolved, node)
+        if isinstance(node.func, ast.Attribute):
+            self._check_method(node.func.attr, node)
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in {"list", "tuple"}
+            and len(node.args) >= 1
+        ):
+            self._check_iter(
+                node.args[0], node, f"{node.func.id}() conversion"
+            )
+        self.generic_visit(node)
+
+    def _check_call(self, name: str, node: ast.Call) -> None:
+        parts = name.split(".")
+        if name in _WALL_CLOCKS:
+            self._report(WALL_CLOCK, node, f"{name}()")
+        elif name in _ENV_PID_CALLS:
+            self._report(ENV_PID, node, f"{name}()")
+        elif name == "id" and len(parts) == 1:
+            self._report(ENV_PID, node, "id() is a per-process address")
+        elif name in _FS_LISTING_CALLS:
+            self._report(FS_READ, node, f"{name}()")
+            if id(node) not in self._sorted_args:
+                self._report(
+                    UNORDERED_ITER,
+                    node,
+                    f"{name}() enumerates in OS order",
+                )
+        elif name == "open":
+            mode = "r"
+            if len(node.args) >= 2 and isinstance(
+                node.args[1], ast.Constant
+            ):
+                mode = str(node.args[1].value)
+            for kw in node.keywords:
+                if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                    mode = str(kw.value.value)
+            if "r" in mode and not any(c in mode for c in "wax+"):
+                self._report(FS_READ, node, f"open(..., {mode!r})")
+        elif len(parts) == 2 and parts[0] == "random":
+            if parts[1] in _RANDOM_DRAWS:
+                self._report(UNSEEDED_RNG, node, f"{name}() (global RNG)")
+            elif parts[1] == "Random" and not (node.args or node.keywords):
+                self._report(UNSEEDED_RNG, node, "random.Random() seedless")
+        elif name.startswith("numpy.random."):
+            tail = parts[-1]
+            if len(parts) == 3 and tail in _NUMPY_LEGACY_DRAWS:
+                self._report(
+                    UNSEEDED_RNG, node, f"{name}() (global RNG)"
+                )
+            elif tail in {"default_rng", "RandomState"} and not (
+                node.args or node.keywords
+            ):
+                self._report(UNSEEDED_RNG, node, f"{name}() seedless")
+
+    def _check_method(self, method: str, node: ast.Call) -> None:
+        if method in _FS_READ_METHODS:
+            self._report(FS_READ, node, f".{method}()")
+        elif method in _FS_LISTING_METHODS:
+            self._report(FS_READ, node, f".{method}()")
+            if id(node) not in self._sorted_args:
+                self._report(
+                    UNORDERED_ITER,
+                    node,
+                    f".{method}() enumerates in OS order",
+                )
+
+
+def direct_effects(
+    mod: ModuleInfo, fn: FunctionInfo
+) -> tuple[EffectSite, ...]:
+    """Every direct effect site in one function body, in source order."""
+    collector = _EffectCollector(mod, fn)
+    for stmt in fn.node.body:
+        collector.visit(stmt)
+    return tuple(
+        sorted(collector.sites, key=lambda s: (s.line, s.effect, s.detail))
+    )
+
+
+def collect_direct_effects(
+    graph: CallGraph,
+) -> dict[str, tuple[EffectSite, ...]]:
+    """Direct effects for every function in the graph."""
+    out: dict[str, tuple[EffectSite, ...]] = {}
+    for qual in sorted(graph.functions):
+        fn = graph.functions[qual]
+        mod = graph.package.modules[fn.module]
+        sites = direct_effects(mod, fn)
+        if sites:
+            out[qual] = sites
+    return out
+
+
+def summarize(
+    graph: CallGraph,
+    direct: Mapping[str, tuple[EffectSite, ...]] | None = None,
+) -> dict[str, Summary]:
+    """Bottom-up effect summaries over the call graph, to fixpoint.
+
+    Deterministic: functions and callees are processed in sorted
+    order, and each witness is the minimal one (shortest chain, then
+    lowest callee qualname), so two runs over the same tree produce
+    identical summaries and identical finding chains.
+    """
+    if direct is None:
+        direct = collect_direct_effects(graph)
+    summaries: dict[str, Summary] = {
+        qual: Summary() for qual in graph.functions
+    }
+    # seed with direct sites (depth 0; first site in source order wins)
+    for qual, sites in direct.items():
+        summary = summaries[qual]
+        for site in sites:
+            if site.effect not in summary.witnesses:
+                summary.witnesses[site.effect] = Witness(
+                    site=site, via=None, depth=0
+                )
+    # propagate until stable
+    changed = True
+    while changed:
+        changed = False
+        for qual in sorted(graph.functions):
+            summary = summaries[qual]
+            for edge in graph.callees(qual):
+                callee_summary = summaries.get(edge.callee)
+                if callee_summary is None:
+                    continue
+                for effect, witness in callee_summary.witnesses.items():
+                    candidate = Witness(
+                        site=witness.site,
+                        via=edge.callee,
+                        depth=witness.depth + 1,
+                    )
+                    current = summary.witnesses.get(effect)
+                    if current is None or (
+                        candidate.depth,
+                        candidate.via or "",
+                    ) < (current.depth, current.via or ""):
+                        summary.witnesses[effect] = candidate
+                        changed = True
+    return summaries
+
+
+def chain_of(
+    summaries: Mapping[str, Summary], qualname: str, effect: str
+) -> tuple[str, ...]:
+    """The witness call chain from ``qualname`` down to the function
+    containing the direct effect site (inclusive)."""
+    chain: list[str] = [qualname]
+    current = qualname
+    for _ in range(len(summaries) + 1):
+        witness = summaries[current].witnesses.get(effect)
+        if witness is None or witness.via is None:
+            break
+        chain.append(witness.via)
+        current = witness.via
+    return tuple(chain)
+
+
+def effects_of(
+    summaries: Mapping[str, Summary], qualname: str
+) -> tuple[str, ...]:
+    """The effect kinds a function's summary carries (stable order)."""
+    summary = summaries.get(qualname)
+    return summary.effects if summary is not None else ()
+
+
+def iter_effect_sites(
+    direct: Mapping[str, tuple[EffectSite, ...]]
+) -> Iterable[EffectSite]:
+    for qual in sorted(direct):
+        yield from direct[qual]

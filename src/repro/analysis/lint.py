@@ -761,3 +761,25 @@ def lint_paths(
         )
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def count_waivers(
+    paths: Sequence[str | Path],
+) -> list[tuple[str, int, tuple[str, ...], str]]:
+    """Every ``haxlint: allow`` pragma under ``paths``, in stable
+    ``(path, line, rules, reason)`` order.
+
+    This is the waiver *census* backing the CI waiver budget
+    (``tools/run_lint.py --max-waivers N``): the budget pins the
+    current count, so the total can only shrink -- a new waiver needs
+    a reviewed budget bump, never a silent allow.
+    """
+    out: list[tuple[str, int, tuple[str, ...], str]] = []
+    for file in _iter_python_files(paths):
+        source = file.read_text(encoding="utf-8")
+        for line, (rules, reason) in sorted(_waivers(source).items()):
+            out.append(
+                (Path(file).as_posix(), line, tuple(sorted(rules)), reason)
+            )
+    out.sort(key=lambda w: (w[0], w[1]))
+    return out

@@ -28,6 +28,13 @@ Subcommands
 ``haxconn lint [PATH ...]``
     Run the determinism/concurrency lint (HAX001-HAX008) over the
     given paths (default: the installed ``repro`` package).
+``haxconn flow [--baseline FILE] [--write-baseline] [ROOT]``
+    Whole-program determinism-flow analysis (HAX101-HAX111): call
+    graph + effect summaries, source->sink taint with full call
+    chains, and the shm/gossip protocol checker.  With ``--baseline``
+    only findings outside the checked-in baseline fail; with
+    ``--write-baseline`` the current findings are written back so the
+    baseline count can only shrink under review.
 ``haxconn platforms`` / ``haxconn models``
     List the modeled SoCs / the model zoo.
 """
@@ -400,6 +407,45 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if not findings else 1
 
 
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from repro.analysis import flow
+
+    root = args.root
+    if root is None:
+        import repro
+
+        root = str(Path(repro.__file__).parent)
+    if not Path(root).is_dir():
+        print(f"error: analysis root is not a directory: {root}", file=sys.stderr)
+        return 2
+    baseline_keys: list[str] = []
+    if args.baseline is not None and not args.write_baseline:
+        try:
+            baseline_keys = flow.load_baseline(args.baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    report = flow.analyze(root, baseline_keys=baseline_keys)
+    if args.write_baseline:
+        if args.baseline is None:
+            print(
+                "error: --write-baseline needs --baseline FILE",
+                file=sys.stderr,
+            )
+            return 2
+        flow.write_baseline(
+            args.baseline, (*report.findings, *report.baselined)
+        )
+        total = len(report.findings) + len(report.baselined)
+        print(f"wrote {total} baseline key(s) to {args.baseline}")
+        return 0
+    print(report.render())
+    if report.stale_keys:
+        # fixed findings must shrink the checked-in baseline
+        return 1
+    return 0 if report.ok else 1
+
+
 def _cmd_platforms(args: argparse.Namespace) -> int:
     from repro.soc import available_platforms, get_platform
 
@@ -618,6 +664,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     p.set_defaults(fn=_cmd_lint)
+
+    p = sub.add_parser(
+        "flow",
+        help="whole-program determinism-flow analysis (HAX101-HAX111)",
+    )
+    p.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        help="package directory to analyze (default: the repro package)",
+    )
+    p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of accepted finding keys; findings outside"
+        " it (or stale entries inside it) exit non-zero",
+    )
+    p.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings back to --baseline FILE",
+    )
+    p.set_defaults(fn=_cmd_flow)
 
     p = sub.add_parser("experiment", help="regenerate a paper artifact")
     p.add_argument("name", help=f"one of {', '.join(sorted(EXPERIMENTS))}")

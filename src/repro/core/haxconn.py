@@ -295,13 +295,13 @@ class HaXCoNN:
             for n, domain in enumerate(domains)
         ]
 
-        def objective(assignment) -> float:
+        def objective(assignment: Assignment) -> float:
             result = formulation.evaluate(
                 [assignment[f"dnn{n}"] for n in range(len(domains))]
             )
             return result.objective
 
-        def frontier_evaluate(assignments) -> None:
+        def frontier_evaluate(assignments: Sequence[Assignment]) -> None:
             # memo-prewarm only: evaluate_frontier stores every
             # member's result (or ScheduleInfeasible) in the engine
             # memo under the same key objective() reads, bit-identical
@@ -321,7 +321,7 @@ class HaXCoNN:
                 for n, domain in enumerate(domains)
             ]
 
-        def lower_bound(partial) -> float:
+        def lower_bound(partial: Assignment) -> float:
             if formulation.objective == "energy":
                 assert min_energy is not None
                 return sum(
@@ -357,7 +357,9 @@ class HaXCoNN:
             for left, right in zip(names, names[1:]):
 
                 def ordered(
-                    partial: Assignment, left=left, right=right
+                    partial: Assignment,
+                    left: str = left,
+                    right: str = right,
                 ) -> bool:
                     a, b = partial.get(left), partial.get(right)
                     return a is None or b is None or a <= b
@@ -400,7 +402,9 @@ class HaXCoNN:
             else None
         )
 
-        def child_bounds(partial, variable) -> np.ndarray:
+        def child_bounds(
+            partial: Assignment, variable: Variable
+        ) -> np.ndarray:
             b = int(variable.name[3:])
             index = val_index[b]
             idx = np.fromiter(

@@ -27,6 +27,7 @@ from typing import Any, Callable, Sequence
 
 from repro.core.baselines import gpu_only, naive_concurrent
 from repro.core.dynamic import DEFAULT_UPDATE_POINTS
+from repro.core.formulation import Formulation
 from repro.core.haxconn import HaXCoNN, ScheduleResult
 from repro.core.schedule_cache import ScheduleCache, workload_signature
 from repro.core.solve_store import SolveStore
@@ -234,7 +235,7 @@ class CachedAnytimePolicy(ServingPolicy):
 
     # ------------------------------------------------------------------
     def _best_naive(
-        self, workload: Workload, formulation
+        self, workload: Workload, formulation: Formulation
     ) -> ScheduleResult:
         """Best naive start, compared under the *contention-aware*
         formulation so its objective is commensurable with solver
@@ -311,7 +312,6 @@ class CachedAnytimePolicy(ServingPolicy):
         candidates: list[tuple[float, ScheduleResult]] = [(0.0, naive)]
         best_objective = naive.predicted.objective
         incumbents = solve.solver.incumbents if solve.solver else []
-        adopted: set[int] = set()
         for point in self.update_points:
             available = [
                 i for i in incumbents if i.wall_time_s <= point
@@ -319,9 +319,11 @@ class CachedAnytimePolicy(ServingPolicy):
             if not available:
                 continue
             best = min(available, key=lambda i: i.objective)
-            if id(best) in adopted or best.objective >= best_objective:
+            # strict improvement only: re-selecting the incumbent
+            # already adopted at an earlier point compares equal and
+            # is skipped, so no per-object dedup is needed
+            if best.objective >= best_objective:
                 continue
-            adopted.add(id(best))
             result = self.scheduler.result_from_assignments(
                 workload,
                 formulation,

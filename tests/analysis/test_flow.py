@@ -1,0 +1,482 @@
+"""Tests for the whole-program determinism-flow analysis.
+
+Fixture packages are synthesized on disk (the analysis is file-based
+and never imports its subject), then analyzed with the same driver
+the ``haxconn flow`` CLI uses.  The last section runs the pass over
+the real ``src/repro`` tree and asserts the checked-in baseline is
+exact -- the same gate CI applies.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import flow
+from repro.analysis.flow.protocol import (
+    SUB_DUAL_ROLE,
+    SUB_MUTATE_AFTER_ENQUEUE,
+    SUB_READ_AFTER_ACK,
+    SUB_WRITE_AFTER_COMMIT,
+)
+from repro.analysis.flow.taint import DEFAULT_SINKS
+
+REPRO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def make_pkg(tmp_path: Path, files: dict[str, str]) -> Path:
+    root = tmp_path / "pkgx"
+    root.mkdir(exist_ok=True)
+    if "__init__.py" not in files:
+        (root / "__init__.py").write_text("")
+    for rel, src in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src))
+    return root
+
+
+def analyze(root: Path, baseline: list[str] | None = None) -> flow.FlowReport:
+    return flow.analyze(root, baseline_keys=baseline)
+
+
+# -- interprocedural propagation --------------------------------------
+
+
+def test_taint_through_three_deep_chain_across_modules(tmp_path):
+    """A wall-clock read three calls below a sink is reported with
+    the full chain, through a ``from``-import between modules."""
+    root = make_pkg(
+        tmp_path,
+        {
+            "deep.py": """
+            import time
+
+            def leaf():
+                return time.time()
+
+            def middle():
+                return leaf()
+            """,
+            "top.py": """
+            from pkgx.deep import middle
+
+            def entry():  # hax: sink
+                return middle()
+            """,
+        },
+    )
+    report = analyze(root)
+    assert [f.rule for f in report.findings] == ["HAX101"]
+    finding = report.findings[0]
+    assert (
+        "pkgx.top.entry -> pkgx.deep.middle -> pkgx.deep.leaf"
+        in finding.message
+    )
+    assert finding.key == (
+        "HAX101",
+        "pkgx.top.entry",
+        "pkgx.deep.leaf",
+        "wall-clock",
+    )
+
+
+def test_taint_through_method_and_higher_order_call(tmp_path):
+    """Effects propagate through ``self.attr.method()`` resolution and
+    through a function handed to a runner as an argument."""
+    root = make_pkg(
+        tmp_path,
+        {
+            "mod.py": """
+            import random
+
+            class Helper:
+                def draw(self):
+                    return random.random()
+
+            class Owner:
+                def __init__(self):
+                    self.helper = Helper()
+
+                def pull(self):  # hax: sink
+                    return self.helper.draw()
+
+            def runner(fn):
+                return fn
+
+            def job():
+                import os
+                return os.getpid()
+
+            def launch():  # hax: sink
+                return runner(job)
+            """,
+        },
+    )
+    report = analyze(root)
+    rules = {(f.rule, f.key[1]) for f in report.findings}
+    assert ("HAX103", "pkgx.mod.Owner.pull") in rules
+    assert ("HAX104", "pkgx.mod.launch") in rules
+
+
+def test_unordered_iteration_effect(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "mod.py": """
+            def gather(items):
+                pool = set(items)
+                return [x for x in pool]
+
+            def digest(items):  # hax: sink
+                return gather(items)
+            """,
+        },
+    )
+    report = analyze(root)
+    assert [f.rule for f in report.findings] == ["HAX102"]
+
+
+# -- sink registry + pragma parity ------------------------------------
+
+
+def test_registry_and_pragma_sinks_report_identically(tmp_path):
+    """A pragma sink produces the same finding as a registry sink for
+    the same flow (only the role label differs)."""
+    root = make_pkg(
+        tmp_path,
+        {
+            "mod.py": """
+            import time
+
+            def tick():
+                return time.time()
+
+            def marked():  # hax: sink
+                return tick()
+
+            def unmarked():
+                return tick()
+            """,
+        },
+    )
+    pkg = flow.load_package(root)
+    graph = flow.build_call_graph(pkg)
+    sinks = flow.collect_sinks(graph)
+    assert sinks == {"pkgx.mod.marked": "pragma sink"}
+
+    taint_marked = flow.run_taint(graph, sinks=sinks)
+    taint_registry = flow.run_taint(
+        graph, sinks={"pkgx.mod.unmarked": "registry role"}
+    )
+    assert len(taint_marked) == len(taint_registry) == 1
+    a, b = taint_marked[0], taint_registry[0]
+    assert (a.rule, a.source, a.effect) == (b.rule, b.source, b.effect)
+    assert a.chain[1:] == b.chain[1:]
+
+
+def test_default_sink_registry_is_not_stale():
+    """Every registry entry must name a live function in src/repro --
+    a rename that silently drops a sink would hollow out the gate."""
+    pkg = flow.load_package(REPRO_SRC, package="repro")
+    graph = flow.build_call_graph(pkg)
+    assert flow.stale_sinks(graph) == ()
+    sinks = flow.collect_sinks(graph)
+    for qual in DEFAULT_SINKS:
+        assert qual in sinks
+
+
+# -- shm protocol checker: one fixture per HAX110 sub-rule -------------
+
+
+def _protocol_subs(root: Path) -> dict[str, list[str]]:
+    pkg = flow.load_package(root)
+    graph = flow.build_call_graph(pkg)
+    out: dict[str, list[str]] = {}
+    for f in flow.run_protocol(graph):
+        out.setdefault(f.sub, []).append(f.qualname)
+    return out
+
+
+def test_protocol_write_after_commit(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "ring.py": """
+            import struct
+
+            _U64 = struct.Struct("<Q")
+
+            class Ring:
+                def bad_write(self, payload):
+                    offset = self.committed
+                    _U64.pack_into(self._shm.buf, 0, offset + 1)
+                    self._write_at(offset, payload)
+
+                def good_write(self, payload):
+                    offset = self.committed
+                    self._write_at(offset, payload)
+                    _U64.pack_into(self._shm.buf, 0, offset + 1)
+            """,
+        },
+    )
+    subs = _protocol_subs(root)
+    assert subs == {SUB_WRITE_AFTER_COMMIT: ["pkgx.ring.Ring.bad_write"]}
+
+
+def test_protocol_read_after_ack(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "ring.py": """
+            import struct
+
+            _U64 = struct.Struct("<Q")
+
+            class Ring:
+                def bad_read(self):
+                    _U64.pack_into(self._shm.buf, 8, self._read_off)
+                    return self._read_at(self._read_off, 16)
+
+                def good_read(self):
+                    payload = self._read_at(self._read_off, 16)
+                    _U64.pack_into(self._shm.buf, 8, self._read_off)
+                    return payload
+            """,
+        },
+    )
+    subs = _protocol_subs(root)
+    assert subs == {SUB_READ_AFTER_ACK: ["pkgx.ring.Ring.bad_read"]}
+
+
+def test_protocol_dual_role(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "use.py": """
+            def echo(ring, payload):
+                ring.try_write(payload)
+                return ring.read_one()
+
+            def send_recv(up, down, payload):
+                up.try_write(payload)
+                return down.read_one()
+            """,
+        },
+    )
+    subs = _protocol_subs(root)
+    # per-object roles: the echo loopback trips, the two-ring pair
+    # (the fleet's real shape) does not
+    assert subs == {SUB_DUAL_ROLE: ["pkgx.use.echo"]}
+
+
+def test_protocol_mutate_after_enqueue(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "use.py": """
+            from pkgx.shmx import DeltaChannel
+
+            def bad(chan: DeltaChannel, delta):
+                chan.pack(delta)
+                delta.append("late")
+
+            def good(chan: DeltaChannel, delta):
+                delta.append("early")
+                chan.pack(delta)
+            """,
+            "shmx.py": """
+            class DeltaChannel:
+                def pack(self, obj):
+                    return ("inline", obj)
+            """,
+        },
+    )
+    subs = _protocol_subs(root)
+    assert subs == {SUB_MUTATE_AFTER_ENQUEUE: ["pkgx.use.bad"]}
+
+
+def test_merge_order_rule(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "gossip.py": """
+            def bad(states, deltas):
+                live = set(states)
+                for s in live:
+                    s.merge(deltas)
+
+            def good(states, deltas):
+                for s in sorted(states):
+                    s.merge(deltas)
+            """,
+        },
+    )
+    pkg = flow.load_package(root)
+    graph = flow.build_call_graph(pkg)
+    findings = flow.run_protocol(graph)
+    assert [(f.rule, f.qualname) for f in findings] == [
+        ("HAX111", "pkgx.gossip.bad")
+    ]
+
+
+# -- baseline round-trip ----------------------------------------------
+
+
+def test_baseline_add_remove_round_trip(tmp_path):
+    files = {
+        "mod.py": """
+        import time
+
+        def tick():
+            return time.time()
+
+        def entry():  # hax: sink
+            return tick()
+        """,
+    }
+    root = make_pkg(tmp_path, files)
+    report = analyze(root)
+    assert len(report.findings) == 1 and not report.ok
+
+    baseline_path = tmp_path / "baseline.json"
+    flow.write_baseline(baseline_path, report.findings)
+    keys = flow.load_baseline(baseline_path)
+    assert keys == [report.findings[0].key_str]
+
+    # add: the baselined finding no longer fails the gate
+    gated = analyze(root, baseline=keys)
+    assert gated.ok
+    assert len(gated.baselined) == 1 and not gated.stale_keys
+
+    # remove: fixing the flow leaves a stale key, which must be
+    # flushed by rewriting the baseline (the shrink-only workflow)
+    (root / "mod.py").write_text(
+        textwrap.dedent(
+            """
+            def tick():
+                return 0.0
+
+            def entry():  # hax: sink
+                return tick()
+            """
+        )
+    )
+    fixed = analyze(root, baseline=keys)
+    assert fixed.ok and not fixed.findings
+    assert fixed.stale_keys == tuple(keys)
+    flow.write_baseline(baseline_path, fixed.findings)
+    assert flow.load_baseline(baseline_path) == []
+
+
+def test_baseline_rejects_wrong_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 999, "keys": []}))
+    with pytest.raises(ValueError, match="version"):
+        flow.load_baseline(path)
+
+
+def test_missing_baseline_is_empty(tmp_path):
+    assert flow.load_baseline(tmp_path / "nope.json") == []
+
+
+# -- stable ordering --------------------------------------------------
+
+
+def test_finding_order_is_stable_across_runs(tmp_path):
+    root = make_pkg(
+        tmp_path,
+        {
+            "a.py": """
+            import time, os, random
+
+            def wall():
+                return time.time()
+
+            def rng():
+                return random.random()
+
+            def env():
+                return os.getenv("X")
+
+            def s1():  # hax: sink
+                return wall() + rng()
+
+            def s2():  # hax: sink
+                pool = {1, 2}
+                for x in pool:
+                    pass
+                return env()
+            """,
+        },
+    )
+    first = analyze(root)
+    second = analyze(root)
+    assert first.findings == second.findings
+    assert first.render() == second.render()
+    assert len(first.findings) >= 4
+    keys = [f.key for f in first.findings]
+    assert keys == sorted(keys)
+
+
+# -- the real tree ----------------------------------------------------
+
+
+def test_repro_tree_matches_checked_in_baseline():
+    """The same gate CI runs: no findings outside the baseline, and
+    no stale baseline entries (fixed findings must shrink it)."""
+    baseline = flow.load_baseline(
+        REPRO_SRC.parents[1] / "tools" / "flow_baseline.json"
+    )
+    report = flow.analyze(
+        REPRO_SRC, package="repro", baseline_keys=baseline
+    )
+    assert report.ok, report.render()
+    assert not report.stale_keys, report.render()
+
+
+def test_repro_tree_report_is_deterministic():
+    a = flow.analyze(REPRO_SRC, package="repro")
+    b = flow.analyze(REPRO_SRC, package="repro")
+    assert a.render() == b.render()
+
+
+# -- CLI verb ---------------------------------------------------------
+
+
+def test_cli_flow_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    root = make_pkg(
+        tmp_path,
+        {
+            "mod.py": """
+            import time
+
+            def entry():  # hax: sink
+                return time.time()
+            """,
+        },
+    )
+    baseline = tmp_path / "b.json"
+
+    assert main(["flow", str(root)]) == 1  # findings, no baseline
+    assert main(["flow", str(root), "--write-baseline"]) == 2
+    assert (
+        main(
+            [
+                "flow",
+                str(root),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+            ]
+        )
+        == 0
+    )
+    assert main(["flow", str(root), "--baseline", str(baseline)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out

@@ -1,0 +1,144 @@
+"""Tests for ``tools/run_lint.py`` as a CLI.
+
+The wrapper is what CI actually invokes (dependency-free, before the
+package installs), so its exit codes, path selection, and the waiver
+budget are contract surface in their own right.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+_spec = importlib.util.spec_from_file_location(
+    "run_lint", REPO_ROOT / "tools" / "run_lint.py"
+)
+assert _spec is not None and _spec.loader is not None
+run_lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(run_lint)
+
+
+@pytest.fixture
+def dirty_tree(tmp_path: Path) -> Path:
+    """Two files: one HAX001 + HAX007 offender, one clean."""
+    (tmp_path / "bad.py").write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            def f(x=[]):
+                return x
+
+            def g():
+                return random.random()
+            """
+        )
+    )
+    (tmp_path / "ok.py").write_text("def h() -> int:\n    return 1\n")
+    return tmp_path
+
+
+# -- exit codes -------------------------------------------------------
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    (tmp_path / "ok.py").write_text("X = 1\n")
+    assert run_lint.main([str(tmp_path)]) == 0
+    assert "0 finding(s)" in capsys.readouterr().out
+
+
+def test_findings_exit_one(dirty_tree, capsys):
+    assert run_lint.main([str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "HAX001" in out and "HAX007" in out
+    assert "2 finding(s)" in out
+
+
+def test_unknown_rule_exits_two(dirty_tree, capsys):
+    assert run_lint.main(["--select", "HAX999", str(dirty_tree)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_list_rules_exits_zero(capsys):
+    assert run_lint.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "HAX001" in out and "HAX008" in out
+
+
+# -- path selection ---------------------------------------------------
+
+
+def test_single_file_selection(dirty_tree, capsys):
+    assert run_lint.main([str(dirty_tree / "ok.py")]) == 0
+    assert run_lint.main([str(dirty_tree / "bad.py")]) == 1
+
+
+def test_select_filters_rules(dirty_tree, capsys):
+    assert (
+        run_lint.main(["--select", "HAX007", str(dirty_tree)]) == 1
+    )
+    out = capsys.readouterr().out
+    assert "HAX007" in out and "HAX001" not in out
+
+
+def test_default_path_is_the_repro_tree(capsys):
+    """No args lints src/repro -- and the tree itself must be clean
+    within the checked-in waiver budget."""
+    assert run_lint.main(["--max-waivers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+# -- waiver budget ----------------------------------------------------
+
+
+def _waived_tree(tmp_path: Path) -> Path:
+    (tmp_path / "waived.py").write_text(
+        textwrap.dedent(
+            """
+            import random
+
+            def g():
+                return random.random()  # haxlint: allow[HAX001] test fixture
+            """
+        )
+    )
+    return tmp_path
+
+
+def test_budget_at_count_passes(tmp_path, capsys):
+    root = _waived_tree(tmp_path)
+    assert run_lint.main(["--max-waivers", "1", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "1 waiver(s) (budget 1)" in out
+
+
+def test_budget_below_count_fails_and_lists_waivers(tmp_path, capsys):
+    root = _waived_tree(tmp_path)
+    assert run_lint.main(["--max-waivers", "0", str(root)]) == 1
+    captured = capsys.readouterr()
+    assert "waived.py" in captured.out
+    assert "allow[HAX001]" in captured.out
+    assert "waiver budget exceeded" in captured.err
+
+
+def test_budget_ignores_pragma_lookalikes_in_strings(tmp_path, capsys):
+    (tmp_path / "docs.py").write_text(
+        '"""Example: # haxlint: allow[HAX001] not a waiver."""\n'
+    )
+    assert run_lint.main(["--max-waivers", "0", str(tmp_path)]) == 0
+
+
+def test_negative_budget_is_usage_error(tmp_path, capsys):
+    assert run_lint.main(["--max-waivers", "-1", str(tmp_path)]) == 2
+    assert "must be >= 0" in capsys.readouterr().err
+
+
+def test_budget_with_findings_still_reports_findings(dirty_tree):
+    # findings dominate: budget ok but lint dirty is still exit 1
+    assert run_lint.main(["--max-waivers", "5", str(dirty_tree)]) == 1

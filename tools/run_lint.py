@@ -7,10 +7,16 @@ installed (CI calls it straight from a checkout)::
     python tools/run_lint.py              # lint src/repro
     python tools/run_lint.py path ...     # lint specific paths
     python tools/run_lint.py --select HAX002,HAX004 src/repro
+    python tools/run_lint.py --max-waivers 2
 
-Exit status: 0 clean, 1 findings, 2 usage error.  The rule catalog
-lives in :mod:`repro.analysis.lint` (HAX001-HAX008) and is documented
-in docs/architecture.md.
+Exit status: 0 clean, 1 findings (or waiver budget exceeded), 2 usage
+error.  The rule catalog lives in :mod:`repro.analysis.lint`
+(HAX001-HAX008) and is documented in docs/architecture.md.
+
+``--max-waivers N`` enforces the waiver budget: the total number of
+``haxlint: allow`` pragmas under the linted paths must not exceed N.
+CI pins N at the current count, so waivers monotonically decrease --
+adding one requires a reviewed budget bump in the workflow file.
 """
 
 from __future__ import annotations
@@ -24,7 +30,12 @@ SRC = REPO_ROOT / "src"
 if SRC.is_dir() and str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
 
-from repro.analysis.lint import LintConfig, RULES, lint_paths  # noqa: E402
+from repro.analysis.lint import (  # noqa: E402
+    LintConfig,
+    RULES,
+    count_waivers,
+    lint_paths,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -47,7 +58,19 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--max-waivers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fail when more than N 'haxlint: allow' pragmas exist "
+        "under the linted paths (the CI waiver budget)",
+    )
     args = parser.parse_args(argv)
+
+    if args.max_waivers is not None and args.max_waivers < 0:
+        print("--max-waivers must be >= 0", file=sys.stderr)
+        return 2
 
     if args.list_rules:
         for rule, description in RULES.items():
@@ -73,6 +96,25 @@ def main(argv: list[str] | None = None) -> int:
     for finding in findings:
         print(finding.describe())
     print(f"{len(findings)} finding(s)")
+
+    if args.max_waivers is not None:
+        waivers = count_waivers(paths)
+        print(
+            f"{len(waivers)} waiver(s) "
+            f"(budget {args.max_waivers})"
+        )
+        if len(waivers) > args.max_waivers:
+            for path, line, rules, reason in waivers:
+                print(
+                    f"  {path}:{line} allow[{','.join(rules)}] {reason}"
+                )
+            print(
+                "waiver budget exceeded: remove a pragma or bump the "
+                "budget in .github/workflows/ci.yml under review",
+                file=sys.stderr,
+            )
+            return 1
+
     return 1 if findings else 0
 
 
