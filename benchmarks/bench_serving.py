@@ -1,14 +1,17 @@
 """Serving smoke benchmark: the online layer on a small request trace.
 
 This is the tier-1 serving gate (wired into the default pytest run via
-``testpaths``): a short changing-mix request trace served under all
-three policies must show the cache-plus-anytime policy matching or
+``testpaths``): a short changing-mix request trace served under the
+four policies must show the cache-plus-anytime policy matching or
 beating GPU-only serving on measured tail latency, with every repeated
-mix answered from the schedule cache.  ``REPRO_FULL=1`` runs a longer
-horizon.
+mix answered from the schedule cache, and the MoCA-style runtime
+throttle actually intervening.  A second pass replays the same trace
+behind a rate-capped admission tier so the admit/shed columns land in
+the CI JSON artifact.  ``REPRO_FULL=1`` runs a longer horizon.
 """
 
 from repro.experiments import serving
+from repro.serve.slo import AdmissionConfig, TierConfig
 
 from conftest import full_run
 
@@ -25,10 +28,9 @@ def test_bench_serving(benchmark, save_report, save_json):
         serving.run, kwargs=kwargs, rounds=1, iterations=1
     )
     save_report("serving", serving.format_results(rows))
-    save_json("serving", {"config": kwargs, "rows": rows})
 
     by_policy = {str(r["policy"]): r for r in rows}
-    assert set(by_policy) == {"gpu_only", "naive", "haxconn"}
+    assert set(by_policy) == {"gpu_only", "naive", "haxconn", "moca"}
     hax, gpu = by_policy["haxconn"], by_policy["gpu_only"]
     # every policy serves the whole trace (no dropped work)
     assert len({(r["served"], r["shed"]) for r in rows}) == 1
@@ -38,3 +40,25 @@ def test_bench_serving(benchmark, save_report, save_json):
     # each novel mix is solved exactly once; repeats come from the cache
     assert int(hax["solves"]) <= int(hax["rounds"]) / 2
     assert int(hax["cache_hits"]) > 0
+    # the dynamic throttle baseline intervenes on the contended mix
+    assert int(by_policy["moca"]["throttled"]) > 0
+
+    # -- admission tier: the same trace behind a rate-capped tier -----
+    tiers = AdmissionConfig(
+        tiers=(TierConfig(priority=1, rate_hz=90.0, burst=4),)
+    )
+    admission_rows = serving.run(
+        policies=("haxconn",), admission=tiers, **kwargs
+    )
+    adm = admission_rows[0]
+    assert int(adm["shed"]) > 0, "rate tier never shed on this trace"
+    # every arrival is accounted for: admitted requests all get served
+    assert int(adm["admitted"]) == int(adm["served"])
+    save_json(
+        "serving",
+        {
+            "config": kwargs,
+            "rows": rows,
+            "admission_rows": admission_rows,
+        },
+    )

@@ -65,7 +65,7 @@ EXPERIMENTS = {
     "solver-race": "solver_race",
 }
 
-SERVE_POLICIES = ("haxconn", "gpu-only", "naive")
+SERVE_POLICIES = ("haxconn", "gpu-only", "naive", "moca")
 
 
 def parse_tenant_spec(spec: str, index: int) -> tuple[str, float, float | None]:
@@ -178,10 +178,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             return gpu_only_policy(
                 platform, max_queue_depth=args.max_queue_depth
             )
+        if args.policy == "moca":
+            from repro.serve.policy import DynamicThrottlePolicy
+
+            return DynamicThrottlePolicy(
+                platform, db=db, max_queue_depth=args.max_queue_depth
+            )
         return naive_policy(
             platform, max_queue_depth=args.max_queue_depth
         )
 
+    if args.max_lag < 0:
+        print("error: --max-lag must be >= 0", file=sys.stderr)
+        return 2
     if args.shards > 1:
         from repro.serve.fleet import Fleet
 
@@ -194,6 +203,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             router=args.router,
             max_batch=args.max_batch,
             sync_rounds=args.sync_rounds,
+            max_lag=args.max_lag,
+            batching=args.batching,
             store=store,
             transport=args.transport,
         )
@@ -519,7 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--arrivals",
-        choices=("poisson", "periodic", "bursty"),
+        choices=("poisson", "periodic", "bursty", "diurnal"),
         default="poisson",
     )
     p.add_argument(
@@ -578,6 +589,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="serving rounds between fleet gossip epochs",
+    )
+    p.add_argument(
+        "--max-lag",
+        type=int,
+        default=0,
+        help="bounded-lag window of the pipelined fleet protocol: "
+        "shards may run this many gossip epochs ahead of the "
+        "slowest peer (0 = lockstep barrier)",
+    )
+    p.add_argument(
+        "--batching",
+        choices=("tenant", "continuous"),
+        default="tenant",
+        help="dispatch batching: one stream per tenant, or same-"
+        "model tenants coalesced into one continuous-batch stream",
     )
     p.add_argument(
         "--transport",

@@ -628,6 +628,51 @@ class HaXCoNN:
             formulation=formulation,
         )
 
+    def results_from_assignments(
+        self,
+        workload: Workload,
+        formulation: Formulation,
+        batch: Sequence[Sequence[Sequence[str]]],
+        *,
+        scheduler_name: str = "manual",
+        serialized: bool = False,
+    ) -> list[ScheduleResult]:
+        """Batched :meth:`result_from_assignments`.
+
+        The whole batch is predicted in one
+        :meth:`Formulation.evaluate_frontier` call -- certified
+        bit-identical to the scalar path by the frontier engine's
+        differential tests -- so callers materializing many candidate
+        mappings at once (the serving policy's anytime swap plan) pay
+        one vectorized evaluation instead of a Python loop.
+        """
+        predictions = formulation.evaluate_frontier(
+            batch, serialized=serialized, check_exclusive=False
+        )
+        results: list[ScheduleResult] = []
+        for assignments, predicted in zip(batch, predictions):
+            if isinstance(predicted, Exception):
+                raise predicted
+            schedule = Schedule(
+                per_dnn=tuple(
+                    DNNSchedule(
+                        dnn_name=workload.names[n], assignment=tuple(a)
+                    )
+                    for n, a in enumerate(assignments)
+                ),
+                serialized=serialized,
+                meta={"scheduler": scheduler_name},
+            )
+            results.append(
+                ScheduleResult(
+                    schedule=schedule,
+                    predicted=predicted,
+                    solver=None,
+                    formulation=formulation,
+                )
+            )
+        return results
+
     def serialized_gpu_schedule(
         self, workload: Workload, formulation: Formulation
     ) -> tuple[Schedule, EvaluationResult]:

@@ -228,6 +228,10 @@ class ShmRing:
 _SHM, _INLINE = "shm", "inline"
 
 
+class TagMismatch(RuntimeError):
+    """A tagged record's round tag disagrees with its control token."""
+
+
 class DeltaChannel:
     """One-direction transport for picklable epoch payloads.
 
@@ -237,34 +241,59 @@ class DeltaChannel:
     (reader-lag overflow).  ``unpack`` inverts it on the other side.
     Tokens must be unpacked in send order -- the ring is FIFO.
 
+    With ``tagged=True`` the channel speaks the *round-tagged*
+    protocol the pipelined serving fleet needs: ``pack(obj, tag)``
+    stamps the payload with an epoch tag, both inline (``("inline",
+    tag, obj)``) and in the ring record (the pickled bytes are
+    ``(tag, obj)``), and ``unpack`` re-checks that the ring record's
+    embedded tag matches the control token's -- a cheap end-to-end
+    guard that a lagging reader and a fast writer never pair a token
+    with the wrong epoch's bytes.  Untagged channels keep the
+    original token shapes, so the solver portfolio's transport is
+    byte-for-byte unchanged.
+
     With ``ring=None`` the channel degenerates to the pickled-queue
     path, which is how the thread and serial backends (and the
     ``queue`` transport) speak the same protocol with zero copies of
     this code.
     """
 
-    def __init__(self, ring: ShmRing | None = None) -> None:
+    def __init__(
+        self, ring: ShmRing | None = None, *, tagged: bool = False
+    ) -> None:
         self.ring = ring
+        self.tagged = tagged
         #: transport telemetry (benchmarks report these)
         self.sent_ring = 0
         self.sent_inline = 0
         self.ring_bytes = 0
 
-    def pack(self, obj: Any) -> tuple[Any, ...]:
+    def pack(self, obj: Any, tag: Any = None) -> tuple[Any, ...]:
+        if self.tagged and tag is None:
+            raise ValueError("tagged channel needs a round tag")
+        record = (tag, obj) if self.tagged else obj
         if self.ring is not None:
-            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+            payload = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
             if self.ring.try_write(payload):
                 self.sent_ring += 1
                 self.ring_bytes += len(payload)
-                return (_SHM,)
+                return (_SHM, tag) if self.tagged else (_SHM,)
         self.sent_inline += 1
-        return (_INLINE, obj)
+        return (_INLINE, tag, obj) if self.tagged else (_INLINE, obj)
 
     def unpack(self, token: tuple[Any, ...]) -> Any:
         if token[0] == _SHM:
             assert self.ring is not None, "shm token without a ring"
-            return pickle.loads(self.ring.read_one())
-        return token[1]
+            record = pickle.loads(self.ring.read_one())
+            if not self.tagged:
+                return record
+            tag, obj = record
+            if tag != token[1]:
+                raise TagMismatch(
+                    f"ring record tagged {tag!r}, token says {token[1]!r}"
+                )
+            return obj
+        return token[2] if self.tagged else token[1]
 
     def close(self) -> None:
         if self.ring is not None:
@@ -276,11 +305,14 @@ class DeltaChannel:
 
 
 def make_channel_pair(
-    capacity: int = 1 << 20,
+    capacity: int = 1 << 20, *, tagged: bool = False
 ) -> tuple[DeltaChannel, DeltaChannel]:
     """(up, down) ring channels for one worker, or inline channels
     when shared memory is unavailable on this host."""
     try:
-        return DeltaChannel(ShmRing(capacity)), DeltaChannel(ShmRing(capacity))
+        return (
+            DeltaChannel(ShmRing(capacity), tagged=tagged),
+            DeltaChannel(ShmRing(capacity), tagged=tagged),
+        )
     except RingUnavailable:
-        return DeltaChannel(None), DeltaChannel(None)
+        return DeltaChannel(None, tagged=tagged), DeltaChannel(None, tagged=tagged)

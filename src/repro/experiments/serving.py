@@ -3,13 +3,17 @@ tenant mix.
 
 A three-tenant deployment whose active mix changes mid-run (a detection
 tenant hands over to a segmentation tenant while a camera-classification
-tenant runs throughout) is served under three policies:
+tenant runs throughout) is served under four policies:
 
 - ``gpu_only``  -- every round serialized on the GPU,
 - ``naive``     -- contention-oblivious fixed GPU & DSA mapping,
 - ``haxconn``   -- :class:`~repro.serve.policy.CachedAnytimePolicy`:
   schedule-cache toggles for known mixes, D-HaX-CoNN anytime solving
-  (naive start, incumbent swaps) for novel ones.
+  (naive start, incumbent swaps) for novel ones,
+- ``moca``      -- :class:`~repro.serve.policy.DynamicThrottlePolicy`:
+  the MoCA-style runtime baseline -- naive static mappings plus a
+  dispatch-time throttle that defers the most memory-aggressive tenant
+  whenever the PCCS model predicts the mix overcommits bandwidth.
 
 All latency numbers are measured by executing rounds on the simulator;
 the policies only ever see decoupled profiles and predictions.
@@ -21,15 +25,19 @@ from typing import Callable
 
 from repro.core.haxconn import HaXCoNN
 from repro.core.solve_store import SolveStore
+from repro.runtime import metrics
+from repro.serve.slo import AdmissionConfig, TierConfig
 from repro.experiments.common import format_table, get_db
 from repro.serve.fleet import Fleet, ShardedFleetReport
 from repro.serve.policy import (
     CachedAnytimePolicy,
+    DynamicThrottlePolicy,
     ServingPolicy,
     gpu_only_policy,
     naive_policy,
 )
 from repro.serve.requests import (
+    DiurnalArrivals,
     PeriodicArrivals,
     PoissonArrivals,
     Tenant,
@@ -38,7 +46,7 @@ from repro.serve.requests import (
 from repro.serve.server import Server
 from repro.soc.platform import get_platform
 
-POLICIES = ("gpu_only", "naive", "haxconn")
+POLICIES = ("gpu_only", "naive", "haxconn", "moca")
 
 
 def windowed(
@@ -104,6 +112,10 @@ def make_policy(
             max_transitions=max_transitions,
         )
         return CachedAnytimePolicy(scheduler)
+    if name == "moca":
+        return DynamicThrottlePolicy(
+            platform, db=db, max_groups=max_groups
+        )
     raise KeyError(f"unknown serving policy {name!r}")
 
 
@@ -115,6 +127,8 @@ def run(
     max_transitions: int = 1,
     max_batch: int = 2,
     policies: tuple[str, ...] = POLICIES,
+    admission: AdmissionConfig | None = None,
+    batching: str = "tenant",
 ) -> list[dict[str, object]]:
     platform = get_platform(platform_name)
     rows: list[dict[str, object]] = []
@@ -130,26 +144,39 @@ def run(
             default_tenants(horizon_s),
             policy,
             max_batch=max_batch,
+            admission=admission,
+            batching=batching,
         )
-        report = server.run(horizon_s=horizon_s)
+        session = server.session(horizon_s=horizon_s)
+        session.run_rounds()
+        report = session.report()
         stats = policy.stats()
         eval_stats = getattr(policy, "eval_stats", dict)()
         util = report.utilization()
+        n_rounds = len(report.rounds)
+        admitted = (report.admission_stats or {}).get(
+            "admitted", len(report.served)
+        )
         rows.append(
             {
                 "policy": name,
                 "served": len(report.served),
+                "admitted": admitted,
                 "shed": len(report.rejected),
                 "p50_ms": report.p50_ms,
                 "p99_ms": report.p99_ms,
                 "miss_%": report.miss_rate * 100.0,
                 "goodput_rps": report.goodput_rps,
-                "rounds": len(report.rounds),
+                "rounds": n_rounds,
+                "idle_ms_per_round": metrics.per_round_ms(
+                    session.virtual_idle_s, n_rounds
+                ),
                 "solves": stats.get("solves", 0),
                 "cache_hits": stats.get("cache_hits", 0),
                 "swaps": stats.get("swaps", 0),
                 "memo_hit_%": 100.0 * eval_stats.get("memo_hit_rate", 0.0),
                 "fp_iter": eval_stats.get("fp_iter_mean", 0.0),
+                "throttled": stats.get("throttled", 0),
                 "gpu_util_%": util.get(platform.gpu.name, 0.0) * 100.0,
             }
         )
@@ -248,14 +275,154 @@ def run_fleet(
     return rows
 
 
+# -- the pipelined (bounded-lag) fleet scenario -----------------------
+
+#: per-shard base streams, pairwise-distinct as model multisets: every
+#: mix signature a shard can form (base solo, joiner solo, base+joiner)
+#: is unique fleet-wide, so gossip is inert and a lockstep run does
+#: byte-identical solve work to a pipelined one -- the two differ only
+#: in barrier stalls, which is exactly what the pipeline gate measures
+PIPELINE_BASE_MODELS: tuple[tuple[str, ...], ...] = (
+    ("alexnet",),
+    ("caffenet",),
+    ("densenet121",),
+    ("fcn_resnet18",),
+    ("googlenet",),
+    ("inception_resnet_v2",),
+    ("inception_v4",),
+    ("mobilenet_v1",),
+    ("resnet101",),
+    ("resnet152",),
+    ("resnet18",),
+    ("resnet50",),
+    ("vgg16",),
+    ("vgg19",),
+    ("vit_tiny",),
+    ("alexnet", "resnet18"),
+)
+
+#: second model chained into every joiner stream (the joiner mix stays
+#: signature-unique because its first model is the shard's base model)
+PIPELINE_JOINER_MODEL = "resnet50"
+PIPELINE_SYNC_ROUNDS = 2
+
+
+def pipeline_tenants(
+    shards: int = 16,
+    *,
+    sync_rounds: int = PIPELINE_SYNC_ROUNDS,
+    lead_epochs: int = 2,
+    spacing_epochs: int = 2,
+    tail: int = 3,
+    rate_hz: float = 5.0,
+) -> tuple[list[Tenant], dict[str, int]]:
+    """Staggered-solve diurnal workload for the bounded-lag gate.
+
+    Shard ``k`` serves a diurnal base tenant plus a one-request
+    "joiner" tenant whose arrival coincides with base arrival
+    ``sync_rounds * (lead_epochs + spacing_epochs * k)`` -- so each
+    shard hits its one expensive two-stream solve at a *distinct*
+    local gossip epoch, roughly ``lead_epochs + spacing_epochs * k``.
+    Under the lockstep barrier every shard stalls through every peer's
+    solve that lands before its own exit; under bounded lag a shard
+    only stalls when it would run more than ``max_lag`` epochs ahead
+    of the slowest alive peer.  Finite traces make shards finish (and
+    stop gating peers) shortly after their solve.
+
+    Returns the tenant list plus the pinned tenant->shard placement.
+    """
+    if not 1 <= shards <= len(PIPELINE_BASE_MODELS):
+        raise ValueError(
+            f"shards must be in [1, {len(PIPELINE_BASE_MODELS)}]"
+        )
+    tenants: list[Tenant] = []
+    pinned: dict[str, int] = {}
+    for k in range(shards):
+        join_at = sync_rounds * (lead_epochs + spacing_epochs * k)
+        times = DiurnalArrivals(
+            rate_hz,
+            amplitude=0.5,
+            period_s=4.0,
+            seed=1000 + 17 * k,
+        ).times(join_at + tail + 1)
+        base = Tenant.of(
+            f"b{k:02d}",
+            *PIPELINE_BASE_MODELS[k],
+            arrivals=TraceArrivals(times),
+            slo_s=0.5,
+            priority=1,
+        )
+        joiner = Tenant.of(
+            f"j{k:02d}",
+            PIPELINE_BASE_MODELS[k][0],
+            PIPELINE_JOINER_MODEL,
+            arrivals=TraceArrivals((times[join_at],)),
+            slo_s=0.5,
+            priority=2,
+        )
+        tenants.extend((base, joiner))
+        pinned[base.name] = k
+        pinned[joiner.name] = k
+    return tenants, pinned
+
+
+def pipeline_admission(
+    *, rate_hz: float = 4.0, burst: int = 2
+) -> AdmissionConfig:
+    """Admission tier for the pipeline scenario's diurnal base tier.
+
+    The token bucket sits below the diurnal peak rate, so arrival
+    bursts at the top of the sine get rate-shed -- deterministic
+    (arrival-clocked), identical across backends and lag settings,
+    and it exercises the admit/shed benchmark columns.  Joiners run
+    at priority 2, which has no tier and is always admitted.
+    """
+    return AdmissionConfig(
+        tiers=(TierConfig(priority=1, rate_hz=rate_hz, burst=burst),)
+    )
+
+
+def run_pipeline_fleet(
+    platform_name: str = "xavier",
+    *,
+    shards: int = 16,
+    max_lag: int = 8,
+    backend: str = "fork",
+    transport: str = "auto",
+    node_budget: int = 250,
+    horizon_s: float = 60.0,
+) -> ShardedFleetReport:
+    """One pipelined (or, at ``max_lag=0``, lockstep) gate run."""
+    from repro.serve.fleet import ShardRouter
+
+    tenants, pinned = pipeline_tenants(shards)
+    fleet = Fleet(
+        get_platform(platform_name),
+        tenants,
+        make_fleet_policy_factory(
+            platform_name, node_budget=node_budget
+        ),
+        shards=shards,
+        backend=backend,
+        router=ShardRouter(shards, mode="pinned", pinned=pinned),
+        sync_rounds=PIPELINE_SYNC_ROUNDS,
+        max_lag=max_lag,
+        admission=pipeline_admission(),
+        transport=transport,
+    )
+    return fleet.run(horizon_s=horizon_s)
+
+
 def fleet_row(report: ShardedFleetReport) -> dict[str, object]:
     """One fleet run as a summary-table row (the ``haxconn serve``
     fleet columns)."""
     ttf = report.time_to_first_hax_s()
+    totals = report.admission_totals()
     return {
         "shards": report.shards,
         "backend": report.backend,
         "served": report.served,
+        "admitted": totals.get("admitted", report.served),
         "shed": report.shed,
         "p50_ms": report.p50_ms if report.served else None,
         "p99_ms": report.p99_ms if report.served else None,
@@ -263,6 +430,9 @@ def fleet_row(report: ShardedFleetReport) -> dict[str, object]:
         "solves": report.solves,
         "store_hits": report.store_hits,
         "wall_ms": report.wall_s * 1e3,
+        "round_wall_ms": report.mean_round_wall_ms(),
+        "idle_ms_per_round": report.idle_per_round_ms(),
+        "max_lag": report.max_lag,
         "tput_rps": report.throughput_rps,
         "ttf_hax_ms": None if ttf is None else ttf * 1e3,
     }
@@ -272,6 +442,7 @@ FLEET_COLUMNS = (
     "shards",
     "backend",
     "served",
+    "admitted",
     "shed",
     "p50_ms",
     "p99_ms",
@@ -279,6 +450,9 @@ FLEET_COLUMNS = (
     "solves",
     "store_hits",
     "wall_ms",
+    "round_wall_ms",
+    "idle_ms_per_round",
+    "max_lag",
     "tput_rps",
     "ttf_hax_ms",
 )
@@ -299,17 +473,20 @@ def format_results(rows: list[dict[str, object]]) -> str:
         [
             "policy",
             "served",
+            "admitted",
             "shed",
             "p50_ms",
             "p99_ms",
             "miss_%",
             "goodput_rps",
             "rounds",
+            "idle_ms_per_round",
             "solves",
             "cache_hits",
             "swaps",
             "memo_hit_%",
             "fp_iter",
+            "throttled",
             "gpu_util_%",
         ],
         title="Serving: cache+anytime vs static policies on a "

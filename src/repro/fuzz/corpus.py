@@ -67,8 +67,13 @@ class CorpusEntry:
         )
 
     def replay(self) -> OracleOutcome:
-        """Re-run the full oracle stack on the stored scenario."""
-        return run_oracles(self.spec)
+        """Re-run the full oracle stack on the stored scenario.
+
+        Corpus replays carry the tenth check: the scenario served
+        through the pipelined fleet must match a lockstep run byte
+        for byte (see :func:`repro.fuzz.oracle.run_oracles`).
+        """
+        return run_oracles(self.spec, pipelined_replay=True)
 
 
 def artifact_name(spec: ScenarioSpec) -> str:

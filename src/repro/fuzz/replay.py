@@ -89,8 +89,15 @@ def fleet_scenario(
     backend: str = "serial",
     horizon_s: float = 0.25,
     max_requests: int = 256,
+    max_lag: int = 0,
 ) -> ShardedFleetReport:
-    """Serve the scenario on a sharded fleet (any backend)."""
+    """Serve the scenario on a sharded fleet (any backend).
+
+    ``max_lag`` selects the bounded-lag window of the fleet's
+    pipelined round protocol (0 = lockstep barrier); the report must
+    not depend on it, which is exactly what the tenth oracle check
+    asserts.
+    """
     fleet = Fleet(
         get_platform(spec.platform),
         tenants_for(spec),
@@ -98,5 +105,6 @@ def fleet_scenario(
         shards=shards,
         backend=backend,
         objective=spec.objective,
+        max_lag=max_lag,
     )
     return fleet.run(horizon_s=horizon_s, max_requests=max_requests)

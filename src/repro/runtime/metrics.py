@@ -118,6 +118,29 @@ def throughput_rps(count: int, wall_s: float) -> float:
     return count / wall_s
 
 
+def per_round_ms(total_s: float, rounds: int) -> float:
+    """Mean wall milliseconds per executed round (0 with no rounds).
+
+    The pipelined fleet's gate metric: a shard's wall seconds
+    (compute plus barrier stall) spread over the rounds it actually
+    dispatched.
+    """
+    if total_s < 0:
+        raise ValueError("total_s must be >= 0")
+    if rounds <= 0:
+        return 0.0
+    return total_s * 1e3 / rounds
+
+
+def stall_fraction(idle_s: float, wall_s: float) -> float:
+    """Fraction of wall time spent stalled waiting on peers."""
+    if idle_s < 0:
+        raise ValueError("idle_s must be >= 0")
+    if wall_s <= 0:
+        return 0.0
+    return min(idle_s / wall_s, 1.0)
+
+
 def utilization(busy_s: float, span_s: float) -> float:
     """Busy fraction of a resource over a span, clamped to [0, 1]."""
     if busy_s < 0 or span_s < 0:

@@ -6,32 +6,45 @@ deterministic tenant->shard router, so served-request throughput stops
 being capped by one loop.  Shards share solve work two ways:
 
 * **epoch gossip** -- shards synchronize at fixed round-count
-  intervals (``sync_rounds``), exactly like the solver portfolio's
-  lockstep epochs: every alive shard posts the solve artifacts it
-  published this epoch (converged schedules, evaluation-memo
-  fragments -- the :class:`~repro.solver.portfolio.SharedEvalState`
-  piggyback protocol, spoken by
+  intervals (``sync_rounds``): every alive shard posts the solve
+  artifacts it published this epoch (converged schedules,
+  evaluation-memo fragments -- the
+  :class:`~repro.solver.portfolio.SharedEvalState` piggyback
+  protocol, spoken by
   :meth:`~repro.serve.policy.ServingPolicy.export_delta` /
-  :meth:`~repro.serve.policy.ServingPolicy.merge`), the parent merges
-  the deltas in shard-index order and broadcasts the epoch union back;
+  :meth:`~repro.serve.policy.ServingPolicy.merge`), the parent builds
+  each epoch's union in shard-index order and hands it back;
 * **the persistent solve store** -- the parent seeds every shard with
   the store's schedules and memo fragments before the first round and
   appends each epoch's gossip union to disk
   (:class:`~repro.core.solve_store.SolveStore`; the parent is the
   single writer, so fork workers never interleave partial lines).
 
+Gossip rounds follow a **bounded-lag pipelined protocol** instead of
+a global barrier.  A shard that has completed epoch ``f`` may start
+epoch ``f + 1`` as soon as every alive peer has completed epoch
+``f - max_lag``; before it does, it merges the unions of every epoch
+``<= f - max_lag`` it has not merged yet, each union being the
+concatenation of that epoch's per-shard deltas in shard-index order.
+``max_lag = 0`` degenerates to the classic lockstep barrier
+(broadcast sequence identical message for message); ``max_lag >= 1``
+lets fast shards keep serving up to that many epochs ahead of the
+slowest peer, so barrier idle time collapses while every merge stays
+deterministic.  Shards that finish stop gating the pipeline and
+contribute no later deltas.
+
 Determinism contract (the fleet extension of the portfolio's): a
 shard's :class:`~repro.serve.slo.FleetReport` is a pure function of
-its seeded arrival stream, its policy configuration, and the broadcast
-sequence it receives at its epoch boundaries.  Epochs are counted in
-*rounds* (virtual time), never wall-clock, and the parent collects
-every alive shard's epoch-``k`` message before broadcasting the
-epoch-``k`` union, so the broadcast sequence is independent of how
-fast any shard happens to run.  At a fixed seed a shard's report is
-therefore byte-identical across the fork / thread / serial backends
-(provided the policy itself is deterministic -- e.g. the portfolio
-solver under its ``nodes`` clock).  Wall-clock only appears in
-telemetry fields (:attr:`ShardOutcome.wall_s`,
+its seeded arrival stream, its policy configuration, and the merge
+sequence it observes at its epoch boundaries.  Epochs are counted in
+*rounds* (virtual time), never wall-clock, and the (epoch,
+shard-index) merge order plus the bounded-lag gate make that sequence
+independent of how fast any shard happens to run.  At a fixed seed
+and fixed ``max_lag`` a shard's report is therefore byte-identical
+across the fork / thread / serial backends (provided the policy
+itself is deterministic -- e.g. the portfolio solver under its
+``nodes`` clock).  Wall-clock only appears in telemetry fields
+(:attr:`ShardOutcome.wall_s`, :attr:`ShardOutcome.idle_wall_s`,
 :attr:`ShardOutcome.first_hax_wall_s`) that stay out of the report.
 """
 
@@ -50,8 +63,12 @@ from repro.runtime import metrics
 from repro.runtime.trace import timeline_to_trace_events, write_trace_events
 from repro.serve.policy import ServingPolicy
 from repro.serve.requests import Tenant, generate_requests
-from repro.serve.server import Server, ServingSession
-from repro.serve.slo import FleetReport
+from repro.serve.server import BATCHING_MODES, Server, ServingSession
+from repro.serve.slo import (
+    AdmissionConfig,
+    FleetReport,
+    admitted_request_count,
+)
 from repro.soc.platform import Platform, get_platform
 from repro.solver.clock import monotonic_s
 
@@ -81,24 +98,51 @@ class ShardRouter:
     ``hash`` mode routes each tenant by :func:`stable_shard` -- the
     placement a stateless frontend can compute with no coordination.
     ``balanced`` mode is the optional least-backlog rebalancer: it
-    weighs each tenant by its *expected* request count within the
-    horizon (seeded arrival processes are pure, so the weight is
-    deterministic) and assigns heaviest-first to the least-loaded
-    shard, ties to the lowest shard index.
+    weighs each tenant by its *admitted* request count within the
+    horizon -- the arrival stream filtered through the fleet's
+    admission tiers, when configured, since shed requests never load a
+    shard (seeded arrival processes and token-bucket admission are
+    both pure, so the weight is deterministic) -- and assigns
+    heaviest-first to the least-loaded shard, ties to the lowest shard
+    index.  ``pinned`` mode places tenants by an explicit
+    ``{tenant name: shard}`` mapping (benchmark topology control).
     """
 
-    def __init__(self, shards: int, *, mode: str = "hash") -> None:
+    def __init__(
+        self,
+        shards: int,
+        *,
+        mode: str = "hash",
+        pinned: Mapping[str, int] | None = None,
+    ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
-        if mode not in ("hash", "balanced"):
+        if mode not in ("hash", "balanced", "pinned"):
             raise ValueError(
-                f"unknown router mode {mode!r}; expected hash or balanced"
+                f"unknown router mode {mode!r}; "
+                "expected hash, balanced, or pinned"
             )
+        if mode == "pinned":
+            if pinned is None:
+                raise ValueError("pinned routing needs a pinned mapping")
+            bad = {n: s for n, s in pinned.items() if not 0 <= s < shards}
+            if bad:
+                raise ValueError(f"pinned shards out of range: {bad}")
+        elif pinned is not None:
+            raise ValueError("pinned mapping requires mode='pinned'")
         self.shards = shards
         self.mode = mode
+        self.pinned = dict(pinned) if pinned is not None else None
 
     def shard_of(self, tenant_name: str) -> int:
-        """Hash placement of one tenant (``hash`` mode's routing)."""
+        """Placement of one tenant (``hash``/``pinned`` routing)."""
+        if self.pinned is not None:
+            try:
+                return self.pinned[tenant_name]
+            except KeyError:
+                raise ValueError(
+                    f"tenant {tenant_name!r} has no pinned shard"
+                ) from None
         return stable_shard(tenant_name, self.shards)
 
     def assign(
@@ -107,14 +151,16 @@ class ShardRouter:
         *,
         horizon_s: float | None = None,
         max_requests: int = 10_000,
+        admission: AdmissionConfig | None = None,
     ) -> list[list[Tenant]]:
         """Partition ``tenants`` into ``shards`` buckets.
 
-        ``balanced`` mode needs ``horizon_s`` to weigh tenants; some
-        buckets may come back empty (fewer tenants than shards).
+        ``balanced`` mode needs ``horizon_s`` to weigh tenants (and
+        honors ``admission`` when weighing); some buckets may come
+        back empty (fewer tenants than shards).
         """
         out: list[list[Tenant]] = [[] for _ in range(self.shards)]
-        if self.mode == "hash":
+        if self.mode in ("hash", "pinned"):
             for tenant in tenants:
                 out[self.shard_of(tenant.name)].append(tenant)
             return out
@@ -124,12 +170,11 @@ class ShardRouter:
         weighted = sorted(
             (
                 (
-                    -len(
-                        generate_requests(
-                            [t],
-                            horizon_s=horizon_s,
-                            max_per_tenant=max_requests,
-                        )
+                    -self._expected_requests(
+                        t,
+                        horizon_s=horizon_s,
+                        max_requests=max_requests,
+                        admission=admission,
                     ),
                     t.name,
                 )
@@ -142,6 +187,34 @@ class ShardRouter:
             loads[target] += -negative_count
             out[target].append(by_name[name])
         return out
+
+    @staticmethod
+    def _expected_requests(
+        tenant: Tenant,
+        *,
+        horizon_s: float,
+        max_requests: int,
+        admission: AdmissionConfig | None,
+    ) -> int:
+        """Balanced-mode weight: requests that survive admission.
+
+        Only the arrival-only admission checks (the per-tier token
+        bucket) are replayable here -- queue-depth and SLO-slack
+        decisions depend on serving state the router cannot see -- but
+        the token bucket is exactly what bounds a tenant's sustained
+        admitted rate, which is the load a shard actually carries.
+        """
+        times = [
+            r.arrival_s
+            for r in generate_requests(
+                [tenant],
+                horizon_s=horizon_s,
+                max_per_tenant=max_requests,
+            )
+        ]
+        if admission is None:
+            return len(times)
+        return admitted_request_count(admission, tenant.priority, times)
 
 
 @dataclass(frozen=True)
@@ -158,6 +231,11 @@ class ShardOutcome:
     first_hax_wall_s: float | None
     #: wall-clock seconds this shard spent serving (telemetry)
     wall_s: float
+    #: wall-clock seconds spent blocked on the bounded-lag gate
+    #: (telemetry; the pipelined protocol exists to shrink this)
+    idle_wall_s: float = 0.0
+    #: gossip epochs this shard completed
+    epochs: int = 0
 
     @property
     def served(self) -> int:
@@ -202,6 +280,9 @@ class _ShardConfig:
     contention: bool
     sync_rounds: int
     gossip_limit: int
+    max_lag: int = 0
+    admission: AdmissionConfig | None = None
+    batching: str = "tenant"
 
 
 def _shard_outcome(
@@ -209,6 +290,9 @@ def _shard_outcome(
     tenants: Sequence[Tenant],
     session: ServingSession,
     wall_start: float,
+    *,
+    idle_wall_s: float = 0.0,
+    epochs: int = 0,
 ) -> ShardOutcome:
     return ShardOutcome(
         index=shard_id,
@@ -217,6 +301,8 @@ def _shard_outcome(
         first_hax_round=session.first_hax_round,
         first_hax_wall_s=session.first_hax_wall_s,
         wall_s=monotonic_s() - wall_start,
+        idle_wall_s=idle_wall_s,
+        epochs=epochs,
     )
 
 
@@ -231,27 +317,34 @@ def _run_shard(
     shard_id: int,
     channel: tuple[Any, Any] | None = None,
 ) -> None:
-    """Shard worker: serve in lockstep epochs, gossiping solve deltas.
+    """Shard worker: serve in gossip epochs under the bounded-lag gate.
 
-    Mirrors ``solver.portfolio._run_worker``: run ``sync_rounds``
-    rounds, post this epoch's delta, block for the parent's broadcast,
-    merge it, repeat.  The policy and server are built *inside* the
-    worker from the factory so fork, thread, and serial shards all
-    start from an identical fresh state (under fork the factory's
-    closed-over profile database is inherited copy-on-write, so no
-    shard re-profiles).
+    Run ``sync_rounds`` rounds, post this epoch's delta tagged with
+    the epoch number, block until the parent grants the next epoch
+    (the grant carries every epoch union the bounded-lag invariant
+    says must be merged first), merge, repeat.  With ``max_lag = 0``
+    the grant only arrives once every peer has posted the same epoch,
+    i.e. the classic lockstep barrier.  The policy and server are
+    built *inside* the worker from the factory so fork, thread, and
+    serial shards all start from an identical fresh state (under fork
+    the factory's closed-over profile database is inherited
+    copy-on-write, so no shard re-profiles).
 
     ``channel`` is the shard's fork-inherited ``(up, down)``
-    :class:`repro.core.shm.DeltaChannel` pair: bulk gossip payloads
-    ride the shared-memory rings and only fixed-size tokens cross the
-    control queues.  ``None`` keeps payloads inline on the queues.
+    round-tagged :class:`repro.core.shm.DeltaChannel` pair: bulk
+    gossip payloads ride the shared-memory rings and only fixed-size
+    tokens cross the control queues.  ``None`` keeps payloads inline
+    on the queues.  Time spent blocked on the grant accumulates into
+    :attr:`ShardOutcome.idle_wall_s` (telemetry only).
     """
 
-    def packed(delta: tuple[Any, ...]) -> Any:
+    def packed(delta: tuple[Any, ...], epoch: int) -> Any:
         if channel is not None and delta:
-            return channel[0].pack(delta)
+            return channel[0].pack(delta, tag=epoch)
         return delta
 
+    idle_wall_s = 0.0
+    epoch = 0
     try:
         policy = policy_factory(shard_id)
         policy.merge(initial_delta)
@@ -262,6 +355,8 @@ def _run_shard(
             max_batch=config.max_batch,
             objective=config.objective,
             contention=config.contention,
+            admission=config.admission,
+            batching=config.batching,
         )
         wall_start = monotonic_s()
         session = server.session(
@@ -275,23 +370,37 @@ def _run_shard(
                     (
                         _DONE,
                         shard_id,
-                        packed(delta),
+                        epoch,
+                        packed(delta, epoch),
                         _shard_outcome(
-                            shard_id, tenants, session, wall_start
+                            shard_id,
+                            tenants,
+                            session,
+                            wall_start,
+                            idle_wall_s=idle_wall_s,
+                            epochs=epoch + 1,
                         ),
                     )
                 )
                 return
-            outbox.put((_SYNC, shard_id, packed(delta)))
+            outbox.put((_SYNC, shard_id, epoch, packed(delta, epoch)))
+            wait_start = monotonic_s()
             reply = inbox.get()
+            idle_wall_s += monotonic_s() - wait_start
             if reply[0] == "stop":  # a peer failed: report and exit
                 outbox.put(
                     (
                         _DONE,
                         shard_id,
+                        epoch,
                         (),
                         _shard_outcome(
-                            shard_id, tenants, session, wall_start
+                            shard_id,
+                            tenants,
+                            session,
+                            wall_start,
+                            idle_wall_s=idle_wall_s,
+                            epochs=epoch + 1,
                         ),
                     )
                 )
@@ -300,6 +409,7 @@ def _run_shard(
             if channel is not None and payload:
                 payload = channel[1].unpack(payload)
             policy.merge(payload)
+            epoch += 1
     except Exception as exc:  # surfaced by the parent, in shard order
         outbox.put((_ERROR, shard_id, repr(exc)))
 
@@ -317,6 +427,7 @@ class ShardedFleetReport:
         store: SolveStore | None = None,
         transport: str = "inproc",
         transport_stats: Mapping[str, int] | None = None,
+        max_lag: int = 0,
     ) -> None:
         self.outcomes = tuple(
             sorted(outcomes, key=lambda o: o.index)
@@ -329,6 +440,8 @@ class ShardedFleetReport:
         self.transport = transport
         #: parent-side transport telemetry (ring vs inline-fallback)
         self.transport_stats = dict(transport_stats or {})
+        #: bounded-lag window the run used (0 = lockstep barrier)
+        self.max_lag = max_lag
 
     # -- aggregates ----------------------------------------------------
     @property
@@ -381,6 +494,55 @@ class ShardedFleetReport:
             int(_stat(o.report.policy_stats, "solves"))
             for o in self.outcomes
         )
+
+    @property
+    def idle_wall_s(self) -> float:
+        """Wall seconds shards spent blocked on the bounded-lag gate."""
+        return sum(o.idle_wall_s for o in self.outcomes)
+
+    @property
+    def epochs(self) -> int:
+        """Gossip epochs completed, summed over shards."""
+        return sum(o.epochs for o in self.outcomes)
+
+    def mean_round_wall_ms(self) -> float:
+        """Mean per-shard wall milliseconds per dispatched round.
+
+        Each shard's wall time (compute *plus* gate stall) is divided
+        by the rounds it dispatched, then averaged across shards --
+        the per-iteration cost metric of the bounded-staleness
+        literature, and the quantity the pipelined protocol shrinks:
+        a shard marching at the global barrier pace pays the barrier
+        in every round's denominator.
+        """
+        per = [
+            metrics.per_round_ms(o.wall_s, len(o.report.rounds))
+            for o in self.outcomes
+            if o.report.rounds
+        ]
+        return sum(per) / len(per) if per else 0.0
+
+    def idle_per_round_ms(self) -> float:
+        """Mean per-shard gate-stall milliseconds per dispatched round."""
+        per = [
+            metrics.per_round_ms(o.idle_wall_s, len(o.report.rounds))
+            for o in self.outcomes
+            if o.report.rounds
+        ]
+        return sum(per) / len(per) if per else 0.0
+
+    def admission_totals(self) -> dict[str, int]:
+        """Fleet-wide admission counters (empty when no shard ran an
+        admission controller)."""
+        totals: dict[str, int] = {}
+        for o in self.outcomes:
+            stats = o.report.admission_stats
+            if not stats:
+                continue
+            for key, value in stats.items():
+                if isinstance(value, int):
+                    totals[key] = totals.get(key, 0) + value
+        return totals
 
     def time_to_first_hax_s(self) -> float | None:
         """Worst-case (max) wall-clock time-to-first-HaX-CoNN-incumbent
@@ -435,6 +597,22 @@ class ShardedFleetReport:
             f"{self.wall_s * 1e3:.0f} ms wall, "
             f"{self.throughput_rps:.1f} req/s"
         )
+        if self.max_lag:
+            lines.append(
+                f"pipeline: max_lag {self.max_lag}, "
+                f"{self.epochs} epochs, "
+                f"mean round wall {self.mean_round_wall_ms():.2f} ms, "
+                f"idle {self.idle_per_round_ms():.2f} ms/round"
+            )
+        totals = self.admission_totals()
+        if totals:
+            lines.append(
+                "admission: "
+                + ", ".join(
+                    f"{key}={value}"
+                    for key, value in sorted(totals.items())
+                )
+            )
         return "\n".join(lines)
 
     def __repr__(self) -> str:
@@ -491,6 +669,22 @@ class Fleet:
         ``hash`` / ``balanced`` or a :class:`ShardRouter`.
     sync_rounds:
         Rounds each shard serves between gossip epochs.
+    max_lag:
+        Bounded-lag window of the pipelined round protocol: a shard
+        may run up to ``max_lag`` gossip epochs ahead of the slowest
+        alive peer.  ``0`` (default) is the classic lockstep barrier;
+        raising it removes barrier idle time while keeping every
+        shard's merge sequence deterministic.
+    admission:
+        Optional :class:`~repro.serve.slo.AdmissionConfig`: per-tenant
+        priority tiers with token-bucket rate, queue-depth, and
+        SLO-slack shedding, applied identically in every shard (and,
+        for the token bucket, by the balanced router when weighing).
+    batching:
+        ``tenant`` (one dispatch stream per tenant, the classic loop)
+        or ``continuous`` (same-model tenants coalesced into one
+        batched stream per round; see
+        :meth:`~repro.serve.server.Server._mix_groups`).
     store:
         Optional :class:`SolveStore`: its contents seed every shard
         before the first round, and (when writable) the parent appends
@@ -522,6 +716,9 @@ class Fleet:
         contention: bool = True,
         sync_rounds: int = 8,
         gossip_limit: int = 256,
+        max_lag: int = 0,
+        admission: AdmissionConfig | None = None,
+        batching: str = "tenant",
         store: SolveStore | None = None,
         transport: str = "auto",
     ) -> None:
@@ -531,6 +728,13 @@ class Fleet:
             raise ValueError("sync_rounds must be >= 1")
         if gossip_limit < 1:
             raise ValueError("gossip_limit must be >= 1")
+        if max_lag < 0:
+            raise ValueError("max_lag must be >= 0")
+        if batching not in BATCHING_MODES:
+            raise ValueError(
+                f"unknown batching mode {batching!r}; "
+                f"expected one of {BATCHING_MODES}"
+            )
         normalized = "thread" if backend == "threads" else backend
         if normalized not in BACKENDS:
             raise ValueError(
@@ -563,6 +767,9 @@ class Fleet:
         self.contention = contention
         self.sync_rounds = sync_rounds
         self.gossip_limit = gossip_limit
+        self.max_lag = max_lag
+        self.admission = admission
+        self.batching = batching
         self.store = store
         self.transport = transport
 
@@ -627,7 +834,10 @@ class Fleet:
         self._transport_used = "inproc"
         self._transport_stats = {"ring": 0, "inline": 0}
         assignment = self.router.assign(
-            self.tenants, horizon_s=horizon_s, max_requests=max_requests
+            self.tenants,
+            horizon_s=horizon_s,
+            max_requests=max_requests,
+            admission=self.admission,
         )
         config = _ShardConfig(
             horizon_s=horizon_s,
@@ -637,6 +847,9 @@ class Fleet:
             contention=self.contention,
             sync_rounds=self.sync_rounds,
             gossip_limit=self.gossip_limit,
+            max_lag=self.max_lag,
+            admission=self.admission,
+            batching=self.batching,
         )
         initial = self._initial_delta()
         live = [
@@ -659,22 +872,27 @@ class Fleet:
             store=self.store,
             transport=self._transport_used,
             transport_stats=dict(self._transport_stats),
+            max_lag=self.max_lag,
         )
 
-    # -- serial backend: in-process lockstep emulation ------------------
+    # -- serial backend: in-process pipelined emulation ------------------
     def _run_serial(
         self,
         live: Sequence[tuple[int, list[Tenant]]],
         initial: tuple[Any, ...],
         config: _ShardConfig,
     ) -> dict[int, ShardOutcome]:
-        """Run every shard in-process, epoch by epoch.
+        """Run every shard in-process under the bounded-lag gate.
 
         Exactly the parallel protocol with the worker loop inlined:
-        every alive shard serves its epoch, deltas merge in shard
-        order, the union applies to the shards still running -- so the
-        broadcast sequence each shard observes matches the fork and
-        thread backends message for message.
+        the scheduler scans shards in index order, runs each shard's
+        next epoch when the gate allows it, and merges the (epoch,
+        shard-index)-ordered unions the bounded-lag invariant
+        requires right before the epoch that needs them -- the same
+        positions in each shard's own timeline as a fork/thread
+        worker's merges, so reports match those backends byte for
+        byte.  With ``max_lag = 0`` every scan runs every alive shard
+        once and the loop degenerates to the classic lockstep epoch.
         """
         shards: dict[int, tuple[ServingSession, ServingPolicy, float]] = {}
         for sid, bucket in live:
@@ -688,6 +906,8 @@ class Fleet:
                     max_batch=config.max_batch,
                     objective=config.objective,
                     contention=config.contention,
+                    admission=config.admission,
+                    batching=config.batching,
                 )
                 wall_start = monotonic_s()
                 session = server.session(
@@ -703,33 +923,77 @@ class Fleet:
         tenants_of = {sid: bucket for sid, bucket in live}
         outcomes: dict[int, ShardOutcome] = {}
         alive = sorted(shards)
+        #: epoch -> shard -> that shard's delta for the epoch
+        contributions: dict[int, dict[int, tuple[Any, ...]]] = {}
+        completed = {sid: -1 for sid in alive}
+        merged_to = {sid: -1 for sid in alive}
+        stored_to = -1
+        max_lag = config.max_lag
+
+        def union(epoch: int) -> tuple[Any, ...]:
+            contribs = contributions.get(epoch, {})
+            return tuple(
+                item
+                for sid in sorted(contribs)
+                for item in contribs[sid]
+            )
+
         while alive:
-            epoch_deltas: list[Any] = []
-            finished: list[int] = []
-            for sid in alive:
+            progressed = False
+            for sid in list(alive):
+                f = completed[sid] + 1  # the epoch this shard wants
+                gate = min(completed[s] for s in alive)
+                if gate < f - 1 - max_lag:
+                    continue  # gated behind a slower peer this scan
                 session, policy, wall_start = shards[sid]
+                if f > 0:
+                    # merge what the bounded-lag invariant requires
+                    # before epoch f: every union up to f-1-max_lag
+                    grant_to = (f - 1) - max_lag
+                    payload = tuple(
+                        item
+                        for e in range(merged_to[sid] + 1, grant_to + 1)
+                        for item in union(e)
+                    )
+                    policy.merge(payload)
+                    merged_to[sid] = max(merged_to[sid], grant_to)
                 try:
                     session.run_rounds(config.sync_rounds)
-                    epoch_deltas.extend(
-                        policy.export_delta(limit=config.gossip_limit)
+                    delta = policy.export_delta(
+                        limit=config.gossip_limit
                     )
                 except Exception as exc:
                     raise RuntimeError(
                         f"fleet shard {sid} failed: {exc!r}"
                     ) from exc
+                if delta:
+                    contributions.setdefault(f, {})[sid] = tuple(delta)
+                completed[sid] = f
+                progressed = True
                 if session.finished:
                     outcomes[sid] = _shard_outcome(
-                        sid, tenants_of[sid], session, wall_start
+                        sid,
+                        tenants_of[sid],
+                        session,
+                        wall_start,
+                        epochs=f + 1,
                     )
-                    finished.append(sid)
-            self._append_store(epoch_deltas)
-            broadcast = tuple(epoch_deltas)
-            alive = [sid for sid in alive if sid not in finished]
-            for sid in alive:
-                shards[sid][1].merge(broadcast)
+                    alive.remove(sid)
+            if not progressed:  # unreachable: the slowest shard is
+                # never gated by its own epoch
+                raise RuntimeError("pipelined fleet scan stalled")
+            # persist completed unions in epoch order (parent-side)
+            limit = min(
+                (completed[s] for s in sorted(alive)),
+                default=max(completed.values(), default=-1),
+            )
+            while stored_to < limit:
+                stored_to += 1
+                self._append_store(union(stored_to))
+                contributions.pop(stored_to - max_lag - 1, None)
         return outcomes
 
-    # -- fork / thread backends: lockstep epoch workers ------------------
+    # -- fork / thread backends: bounded-lag pipelined workers -----------
     def _run_parallel(
         self,
         live: Sequence[tuple[int, list[Tenant]]],
@@ -737,6 +1001,19 @@ class Fleet:
         config: _ShardConfig,
         backend: str,
     ) -> dict[int, ShardOutcome]:
+        """Workers serve epochs concurrently; the parent gates grants.
+
+        All workers post to ONE shared outbox (arrival order is
+        timing-dependent, but nothing derived from it is: deltas are
+        keyed by their (epoch, shard) tag and every union is built in
+        shard-index order).  A shard that posted epoch ``f`` blocks
+        until every alive peer has completed epoch ``f - max_lag``;
+        its grant then carries exactly the epoch unions up to
+        ``f - max_lag`` it has not merged yet, so the merge sequence
+        is a pure function of the workload and ``max_lag``.  With
+        ``max_lag = 0`` grants fire only when the whole epoch is in
+        -- the classic lockstep barrier, broadcast for broadcast.
+        """
         channels: dict[int, tuple[Any, Any]] | None = None
         if backend == "fork":
             if self.transport != "queue":
@@ -753,12 +1030,13 @@ class Fleet:
                     )
                 if _shm.shared_memory_available():
                     channels = {
-                        sid: _shm.make_channel_pair() for sid, _ in live
+                        sid: _shm.make_channel_pair(tagged=True)
+                        for sid, _ in live
                     }
             self._transport_used = "shm" if channels is not None else "queue"
             ctx = multiprocessing.get_context("fork")
             inboxes = {sid: ctx.SimpleQueue() for sid, _ in live}
-            outboxes = {sid: ctx.SimpleQueue() for sid, _ in live}
+            outbox: Any = ctx.SimpleQueue()
             runners = [
                 ctx.Process(
                     target=_run_shard,
@@ -769,7 +1047,7 @@ class Fleet:
                         initial,
                         config,
                         inboxes[sid],
-                        outboxes[sid],
+                        outbox,
                         sid,
                         channels[sid] if channels is not None else None,
                     ),
@@ -779,7 +1057,7 @@ class Fleet:
             ]
         else:
             inboxes = {sid: queue.SimpleQueue() for sid, _ in live}
-            outboxes = {sid: queue.SimpleQueue() for sid, _ in live}
+            outbox = queue.SimpleQueue()
             runners = [
                 threading.Thread(
                     target=_run_shard,
@@ -790,7 +1068,7 @@ class Fleet:
                         initial,
                         config,
                         inboxes[sid],
-                        outboxes[sid],
+                        outbox,
                         sid,
                     ),
                     daemon=True,
@@ -802,55 +1080,102 @@ class Fleet:
 
         outcomes: dict[int, ShardOutcome] = {}
         alive = {sid for sid, _ in live}
+        #: epoch -> shard -> that shard's delta for the epoch
+        contributions: dict[int, dict[int, tuple[Any, ...]]] = {}
+        completed = {sid: -1 for sid in sorted(alive)}
+        merged_to = {sid: -1 for sid in sorted(alive)}
+        #: shard -> epoch of its pending SYNC, awaiting a grant
+        waiting: dict[int, int] = {}
+        stored_to = -1
+        max_lag = config.max_lag
         error: tuple[int, str] | None = None
 
-        def consume(msg: tuple[Any, ...]) -> int | None:
-            """Merge one shard message; return sid when it finished."""
-            nonlocal error
-            kind, sid = msg[0], msg[1]
-            if kind == _ERROR:
-                if error is None:
-                    error = (sid, msg[2])
-                return sid
-            delta = msg[2]
+        def record(sid: int, epoch: int, token: Any) -> None:
+            delta = token
             if channels is not None and delta:
                 self._transport_stats[
                     "ring" if delta[0] == "shm" else "inline"
                 ] += 1
                 delta = channels[sid][0].unpack(delta)
-            epoch_deltas.extend(delta)
-            if kind == _DONE:
-                outcomes[sid] = msg[3]
-                return sid
-            return None
+            if delta:
+                contributions.setdefault(epoch, {})[sid] = tuple(delta)
+
+        def union(epoch: int) -> tuple[Any, ...]:
+            contribs = contributions.get(epoch, {})
+            return tuple(
+                item
+                for sid in sorted(contribs)
+                for item in contribs[sid]
+            )
+
+        def try_grants() -> None:
+            """Release every waiting shard the gate now allows.
+
+            The grant's merge horizon is pinned to the *shard's own*
+            epoch (``f - max_lag``), never to how far peers have
+            advanced -- that pin is what keeps the merge sequence
+            deterministic under arbitrary scheduling.
+            """
+            gate = min(
+                (completed[s] for s in sorted(alive)), default=None
+            )
+            if gate is None:
+                return
+            for sid in sorted(waiting):
+                f = waiting[sid]
+                if gate < f - max_lag:
+                    continue
+                grant_to = f - max_lag
+                payload = tuple(
+                    item
+                    for e in range(merged_to[sid] + 1, grant_to + 1)
+                    for item in union(e)
+                )
+                token: Any = payload
+                if channels is not None and payload:
+                    token = channels[sid][1].pack(payload, tag=grant_to)
+                inboxes[sid].put(("delta", token))
+                merged_to[sid] = max(merged_to[sid], grant_to)
+                del waiting[sid]
+
+        def flush_store() -> None:
+            """Persist completed unions in epoch order, then drop
+            contributions nothing can ask for again."""
+            nonlocal stored_to
+            limit = min(
+                (completed[s] for s in sorted(alive)),
+                default=max(completed.values(), default=-1),
+            )
+            while stored_to < limit:
+                stored_to += 1
+                self._append_store(union(stored_to))
+                contributions.pop(stored_to - max_lag - 1, None)
 
         try:
             while alive:
-                epoch_deltas: list[Any] = []
-                finished = []
-                for sid in sorted(alive):
-                    done_sid = consume(outboxes[sid].get())
-                    if done_sid is not None:
-                        finished.append(done_sid)
-                for sid in finished:
+                msg = outbox.get()
+                kind, sid = msg[0], msg[1]
+                if kind == _ERROR:
+                    if error is None:
+                        error = (sid, msg[2])
                     alive.discard(sid)
-                self._append_store(epoch_deltas)
-                stop = error is not None
-                broadcast = tuple(epoch_deltas)
-                for sid in sorted(alive):
-                    if stop:
-                        inboxes[sid].put(("stop",))
-                        continue
-                    payload: Any = broadcast
-                    if channels is not None and broadcast:
-                        payload = channels[sid][1].pack(broadcast)
-                    inboxes[sid].put(("delta", payload))
-                if stop:
-                    for sid in sorted(alive):
-                        while sid in alive:
-                            if consume(outboxes[sid].get()) is not None:
-                                alive.discard(sid)
-                    break
+                    for w in sorted(waiting):
+                        inboxes[w].put(("stop",))
+                    waiting.clear()
+                    continue
+                epoch, token = msg[2], msg[3]
+                record(sid, epoch, token)
+                completed[sid] = epoch
+                if kind == _DONE:
+                    outcomes[sid] = msg[4]
+                    alive.discard(sid)
+                elif error is not None:
+                    inboxes[sid].put(("stop",))
+                else:
+                    waiting[sid] = epoch
+                if error is None:
+                    try_grants()
+                    flush_store()
         finally:
             for r in runners:
                 r.join(timeout=10.0)
@@ -885,6 +1210,9 @@ def serve_fleet(
     max_batch: int = 1,
     contention: bool = True,
     sync_rounds: int = 8,
+    max_lag: int = 0,
+    admission: AdmissionConfig | None = None,
+    batching: str = "tenant",
     store: SolveStore | None = None,
     max_requests: int = 10_000,
     transport: str = "auto",
@@ -900,6 +1228,9 @@ def serve_fleet(
         max_batch=max_batch,
         contention=contention,
         sync_rounds=sync_rounds,
+        max_lag=max_lag,
+        admission=admission,
+        batching=batching,
         store=store,
         transport=transport,
     )

@@ -41,6 +41,16 @@ _MEMO_FRAGMENT_CAP = 4096
 _MEMO_EXPORT_LIMIT = 512
 
 
+@dataclass(frozen=True)
+class MixCandidate:
+    """One backlogged tenant offered to :meth:`ServingPolicy.filter_mix`."""
+
+    tenant: str
+    models: tuple[str, ...]
+    priority: int
+    queue_depth: int
+
+
 class ServingPolicy:
     """Base policy: admit everything, delegate scheduling to a hook."""
 
@@ -62,6 +72,23 @@ class ServingPolicy:
             self.rejected += 1
             return False
         return True
+
+    def filter_mix(
+        self,
+        candidates: Sequence[MixCandidate],
+        *,
+        round_index: int,
+        now_s: float,
+    ) -> frozenset[str] | None:
+        """Runtime dispatch-rate throttle hook.
+
+        Called once per round with every backlogged tenant; returning
+        a set of tenant names defers the others to a later round,
+        returning ``None`` (the default) keeps the full mix.  The
+        decision may use only the arguments given -- virtual time and
+        queue state -- so it stays deterministic and replayable.
+        """
+        return None
 
     # -- scheduling ----------------------------------------------------
     def result_for(
@@ -150,6 +177,155 @@ def naive_policy(
         lambda w: naive_concurrent(w, plat, db=db, max_groups=max_groups),
         max_queue_depth=max_queue_depth,
     )
+
+
+class DynamicThrottlePolicy(StaticPolicy):
+    """MoCA-style runtime memory-contention throttling baseline.
+
+    Where HaX-CoNN *plans ahead* (contention folded into the schedule
+    before dispatch), MoCA reacts *at runtime*: it watches each
+    client's memory aggressiveness and throttles the aggressive ones
+    when contention would blow past a slowdown target.  This policy
+    reproduces that control loop on the serving path: every tenant's
+    aggressiveness is its time-weighted mean requested memory
+    bandwidth on the GPU (from the profile database), the PCCS
+    surface predicts the worst per-tenant slowdown of the proposed
+    mix, and while that prediction exceeds ``target_slowdown`` the
+    most aggressive of the lowest-priority tenants is deferred to a
+    later round.  A tenant deferred ``cooldown_rounds`` consecutive
+    rounds becomes immune until it is dispatched again, so nothing
+    starves.  Scheduling itself stays naive (fixed GPU & DSA mapping)
+    -- the throttle, not the plan, is the contribution under test.
+
+    Every input is deterministic (profiles, PCCS fit, queue state,
+    round index), so decisions are replayable -- no wall clock, no
+    measured samples.
+    """
+
+    def __init__(
+        self,
+        platform: Platform | str,
+        *,
+        db: ProfileDB | None = None,
+        max_groups: int | None = 12,
+        target_slowdown: float = 1.25,
+        cooldown_rounds: int = 3,
+        max_queue_depth: int | None = None,
+    ) -> None:
+        plat = (
+            get_platform(platform) if isinstance(platform, str) else platform
+        )
+        if target_slowdown <= 1.0:
+            raise ValueError("target_slowdown must be > 1")
+        if cooldown_rounds < 1:
+            raise ValueError("cooldown_rounds must be >= 1")
+        self._db = db if db is not None else ProfileDB(plat)
+        super().__init__(
+            "moca-throttle",
+            lambda w: naive_concurrent(
+                w, plat, db=self._db, max_groups=max_groups
+            ),
+            max_queue_depth=max_queue_depth,
+        )
+        self._platform = plat
+        self._max_groups = max_groups
+        self.target_slowdown = target_slowdown
+        self.cooldown_rounds = cooldown_rounds
+        #: tenant -> consecutive rounds it has been deferred
+        self._deferred_rounds: dict[str, int] = {}
+        self._bw_cache: dict[tuple[str, ...], float] = {}
+        self.throttled = 0
+        self.throttle_rounds = 0
+
+    def _aggressiveness(self, models: tuple[str, ...]) -> float:
+        """Time-weighted mean requested DRAM bandwidth (B/s) of the
+        tenant's model chain on the GPU (the MoCA monitor's proxy);
+        groups the GPU cannot run fall back to their hungriest
+        supported accelerator."""
+        cached = self._bw_cache.get(models)
+        if cached is not None:
+            return cached
+        gpu = self._platform.gpu.name
+        weighted = 0.0
+        seconds = 0.0
+        for model in models:
+            profile = self._db.profile(model, max_groups=self._max_groups)
+            for grp in profile:
+                accel = (
+                    gpu
+                    if gpu in grp.time_s
+                    else max(
+                        grp.time_s, key=lambda a: grp.req_bw.get(a, 0.0)
+                    )
+                )
+                weighted += grp.req_bw[accel] * grp.time_s[accel]
+                seconds += grp.time_s[accel]
+        bw = weighted / seconds if seconds > 0 else 0.0
+        self._bw_cache[models] = bw
+        return bw
+
+    def filter_mix(
+        self,
+        candidates: Sequence[MixCandidate],
+        *,
+        round_index: int,
+        now_s: float,
+    ) -> frozenset[str] | None:
+        if len(candidates) < 2:
+            for c in candidates:
+                self._deferred_rounds[c.tenant] = 0
+            return None
+        kept = list(candidates)
+        bw = {c.tenant: self._aggressiveness(c.models) for c in kept}
+        pccs = self._db.pccs
+        deferred = 0
+        while len(kept) > 1:
+            worst = max(
+                pccs.slowdown(
+                    bw[c.tenant],
+                    [bw[o.tenant] for o in kept if o is not c],
+                )
+                for c in kept
+            )
+            if worst <= self.target_slowdown:
+                break
+            # cooled-down tenants are immune until dispatched again
+            victims = [
+                c
+                for c in kept
+                if self._deferred_rounds.get(c.tenant, 0)
+                < self.cooldown_rounds
+            ]
+            if not victims:
+                break
+            victim = min(
+                victims,
+                key=lambda c: (c.priority, -bw[c.tenant], c.tenant),
+            )
+            kept.remove(victim)
+            deferred += 1
+        if not deferred:
+            for c in candidates:
+                self._deferred_rounds[c.tenant] = 0
+            return None
+        self.throttled += deferred
+        self.throttle_rounds += 1
+        names = frozenset(c.tenant for c in kept)
+        for c in candidates:
+            if c.tenant in names:
+                self._deferred_rounds[c.tenant] = 0
+            else:
+                self._deferred_rounds[c.tenant] = (
+                    self._deferred_rounds.get(c.tenant, 0) + 1
+                )
+        return names
+
+    def stats(self) -> dict[str, object]:
+        return {
+            **super().stats(),
+            "throttled": self.throttled,
+            "throttle_rounds": self.throttle_rounds,
+        }
 
 
 @dataclass
@@ -312,6 +488,7 @@ class CachedAnytimePolicy(ServingPolicy):
         candidates: list[tuple[float, ScheduleResult]] = [(0.0, naive)]
         best_objective = naive.predicted.objective
         incumbents = solve.solver.incumbents if solve.solver else []
+        adopted: list[tuple[float, Any]] = []
         for point in self.update_points:
             available = [
                 i for i in incumbents if i.wall_time_s <= point
@@ -324,17 +501,27 @@ class CachedAnytimePolicy(ServingPolicy):
             # is skipped, so no per-object dedup is needed
             if best.objective >= best_objective:
                 continue
-            result = self.scheduler.result_from_assignments(
+            adopted.append((point, best))
+            best_objective = best.objective
+        if adopted:
+            # one frontier batch materializes every adopted incumbent
+            # (bit-identical to per-incumbent scalar evaluation)
+            results = self.scheduler.results_from_assignments(
                 workload,
                 formulation,
                 [
-                    best.assignment[f"dnn{n}"]
-                    for n in range(len(workload))
+                    [
+                        inc.assignment[f"dnn{n}"]
+                        for n in range(len(workload))
+                    ]
+                    for _, inc in adopted
                 ],
                 scheduler_name="haxconn-incumbent",
             )
-            candidates.append((point, result))
-            best_objective = best.objective
+            candidates.extend(
+                (point, result)
+                for (point, _), result in zip(adopted, results)
+            )
 
         # the solver's certified answer (possibly the serialized GPU
         # fallback, which never appears in the incumbent stream)

@@ -163,6 +163,49 @@ class BurstyArrivals(ArrivalProcess):
 
 
 @dataclass(frozen=True)
+class DiurnalArrivals(ArrivalProcess):
+    """Non-homogeneous Poisson arrivals with a sinusoidal rate.
+
+    The instantaneous rate is ``rate_hz * (1 + amplitude *
+    sin(2*pi*(t/period_s + phase)))`` -- the classic diurnal serving
+    curve, compressed to simulator scale.  Arrivals are drawn by
+    thinning a homogeneous process at the peak rate, which keeps the
+    draw prefix-stable: accepting or rejecting candidate ``k`` never
+    depends on how many arrivals were requested.
+    """
+
+    rate_hz: float
+    amplitude: float = 0.5
+    period_s: float = 1.0
+    phase: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive")
+        if not 0 <= self.amplitude <= 1:
+            raise ValueError("amplitude must be in [0, 1]")
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    def times(self, n: int, *, start: float = 0.0) -> tuple[float, ...]:
+        rng = np.random.default_rng(self.seed)
+        peak = self.rate_hz * (1.0 + self.amplitude)
+        t = start
+        out: list[float] = []
+        while len(out) < n:
+            t += rng.exponential(1.0 / peak)
+            rate = self.rate_hz * (
+                1.0
+                + self.amplitude
+                * np.sin(2.0 * np.pi * (t / self.period_s + self.phase))
+            )
+            if rng.uniform() * peak <= rate:
+                out.append(t)
+        return tuple(out)
+
+
+@dataclass(frozen=True)
 class TraceArrivals(ArrivalProcess):
     """Replay of an explicit arrival-time trace (seconds)."""
 
@@ -209,9 +252,11 @@ def make_arrivals(
         return BurstyArrivals(
             rate_hz, burst_rate_hz=4.0 * rate_hz, seed=seed
         )
+    if kind == "diurnal":
+        return DiurnalArrivals(rate_hz, seed=seed)
     raise KeyError(
         f"unknown arrival kind {kind!r}; "
-        "expected periodic, poisson, or bursty"
+        "expected periodic, poisson, bursty, or diurnal"
     )
 
 
@@ -224,6 +269,8 @@ class Tenant:
     arrivals: ArrivalProcess = field(default_factory=lambda: PoissonArrivals(30.0))
     #: per-request latency SLO in seconds (None = best effort)
     slo_s: float | None = None
+    #: admission tier (higher = more important; see serve.slo)
+    priority: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -240,12 +287,14 @@ class Tenant:
         *models: str,
         arrivals: ArrivalProcess | None = None,
         slo_s: float | None = None,
+        priority: int = 1,
     ) -> "Tenant":
         return cls(
             name=name,
             models=tuple(models),
             arrivals=arrivals if arrivals is not None else PoissonArrivals(30.0),
             slo_s=slo_s,
+            priority=priority,
         )
 
     def stream(self) -> WorkloadDNN:

@@ -28,17 +28,30 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.core.workload import Workload
+from repro.core.workload import Workload, WorkloadDNN
 from repro.runtime.executor import run_schedule
-from repro.serve.policy import ServingPolicy
+from repro.serve.policy import MixCandidate, ServingPolicy
 from repro.serve.requests import Request, Tenant, generate_requests
-from repro.serve.slo import FleetReport, ServedRequest
+from repro.serve.slo import (
+    AdmissionConfig,
+    AdmissionController,
+    FleetReport,
+    ServedRequest,
+)
 from repro.soc.platform import Platform, get_platform
 from repro.soc.timeline import Timeline
 from repro.solver.clock import monotonic_s
 
 #: slack when comparing virtual-time instants
 _EPS = 1e-12
+
+#: smoothing for the per-tenant measured-latency estimate the
+#: SLO-budget admission check consumes (virtual time only)
+_EWMA_ALPHA = 0.2
+
+#: request batching modes: one stream per tenant (the classic loop)
+#: or same-model tenants coalesced into one continuous-batch stream
+BATCHING_MODES = ("tenant", "continuous")
 
 #: scheduler provenance that counts as a HaX-CoNN incumbent round:
 #: cache toggles ("cached") and every solver-produced schedule
@@ -84,6 +97,8 @@ class Server:
         max_batch: int = 1,
         objective: str = "latency",
         contention: bool = True,
+        admission: AdmissionConfig | None = None,
+        batching: str = "tenant",
     ) -> None:
         if not tenants:
             raise ValueError("server needs at least one tenant")
@@ -92,6 +107,11 @@ class Server:
             raise ValueError(f"duplicate tenant names: {names}")
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
+        if batching not in BATCHING_MODES:
+            raise ValueError(
+                f"unknown batching mode {batching!r}; "
+                f"expected one of {BATCHING_MODES}"
+            )
         self.platform = (
             get_platform(platform) if isinstance(platform, str) else platform
         )
@@ -100,6 +120,8 @@ class Server:
         self.max_batch = max_batch
         self.objective = objective
         self.contention = contention
+        self.admission = admission
+        self.batching = batching
 
     # ------------------------------------------------------------------
     def _mix_workload(self, active: Sequence[Tenant]) -> Workload:
@@ -107,6 +129,36 @@ class Server:
         identical models get distinct instance indices)."""
         return Workload.concurrent(
             *[t.stream() for t in active], objective=self.objective
+        )
+
+    def _mix_groups(
+        self, active: Sequence[Tenant]
+    ) -> list[tuple[tuple[str, ...], tuple[Tenant, ...]]]:
+        """Active tenants folded into dispatch streams.
+
+        Under ``tenant`` batching every tenant is its own stream (the
+        classic loop, byte-identical).  Under ``continuous`` batching
+        tenants serving the *same model chain* share one stream, so
+        their pending requests ride a single batched dispatch --
+        groups keep first-tenant order, members keep tenant order.
+        """
+        if self.batching != "continuous":
+            return [(t.models, (t,)) for t in active]
+        order: list[tuple[str, ...]] = []
+        members: dict[tuple[str, ...], list[Tenant]] = {}
+        for t in active:
+            if t.models not in members:
+                order.append(t.models)
+                members[t.models] = []
+            members[t.models].append(t)
+        return [(m, tuple(members[m])) for m in order]
+
+    def _group_workload(
+        self, groups: Sequence[tuple[tuple[str, ...], tuple[Tenant, ...]]]
+    ) -> Workload:
+        return Workload.concurrent(
+            *[WorkloadDNN.of(*models) for models, _ in groups],
+            objective=self.objective,
         )
 
     def session(
@@ -187,12 +239,23 @@ class ServingSession:
             t.name: deque() for t in server.tenants
         }
         self._slo = {t.name: t.slo_s for t in server.tenants}
+        self._priority = {t.name: t.priority for t in server.tenants}
+        self._admission = (
+            AdmissionController(server.admission)
+            if server.admission is not None
+            else None
+        )
+        #: per-tenant EWMA of measured (virtual) request latency; feeds
+        #: the SLO-slack admission check, so it uses simulator time only
+        self._latency_ewma: dict[str, float] = {}
         self.records: list[ServedRequest] = []
         self.rounds: list[RoundRecord] = []
         self._mix_elapsed: dict[tuple[str, ...], float] = {}
         self._now = 0.0
         self._next_arrival = 0
         self._finished = False
+        #: virtual seconds spent jumping over empty-queue gaps
+        self.virtual_idle_s = 0.0
         self._wall_start = monotonic_s()
         #: round index of the first HaX-CoNN-family dispatch
         #: (deterministic; None until it happens)
@@ -226,7 +289,17 @@ class ServingSession:
             ):
                 req = self._requests[self._next_arrival]
                 self._next_arrival += 1
-                if self.server.policy.admit(
+                shed_reason = None
+                if self._admission is not None:
+                    shed_reason = self._admission.decide(
+                        tenant=req.tenant,
+                        priority=self._priority[req.tenant],
+                        arrival_s=req.arrival_s,
+                        queue_depth=len(self._queues[req.tenant]),
+                        slo_s=self._slo[req.tenant],
+                        est_latency_s=self._latency_ewma.get(req.tenant),
+                    )
+                if shed_reason is None and self.server.policy.admit(
                     req.tenant, len(self._queues[req.tenant]), self._now
                 ):
                     self._queues[req.tenant].append(req)
@@ -238,6 +311,7 @@ class ServingSession:
                             arrival_s=req.arrival_s,
                             slo_s=self._slo[req.tenant],
                             rejected=True,
+                            shed_reason=shed_reason,
                         )
                     )
 
@@ -248,18 +322,56 @@ class ServingSession:
                 if self._next_arrival >= len(self._requests):
                     self._finished = True
                     break  # drained: every request served or shed
-                self._now = self._requests[self._next_arrival].arrival_s
+                nxt = self._requests[self._next_arrival].arrival_s
+                self.virtual_idle_s += max(nxt - self._now, 0.0)
+                self._now = nxt
                 continue
 
+            # 1b. runtime throttle hook: the policy may defer some
+            # backlogged tenants to a later round (MoCA-style); a None
+            # answer (the default) keeps the full mix
+            if len(active) > 1:
+                candidates = tuple(
+                    MixCandidate(
+                        tenant=t.name,
+                        models=t.models,
+                        priority=t.priority,
+                        queue_depth=len(self._queues[t.name]),
+                    )
+                    for t in active
+                )
+                keep = self.server.policy.filter_mix(
+                    candidates,
+                    round_index=len(self.rounds),
+                    now_s=self._now,
+                )
+                if keep is not None:
+                    kept = [t for t in active if t.name in keep]
+                    if kept:
+                        active = kept
+
             # 2. dispatch one round for the active mix
-            workload = self.server._mix_workload(active)
+            groups = self.server._mix_groups(active)
+            workload = self.server._group_workload(groups)
             mix_key = workload.names
             elapsed = self._mix_elapsed.get(mix_key, 0.0)
             result = self.server.policy.result_for(workload, elapsed)
-            batch = tuple(
-                min(len(self._queues[t.name]), self.server.max_batch)
-                for t in active
-            )
+            # per-stream service order: members of a continuous-batch
+            # group drain round-robin, so no co-tenant is starved
+            picks: list[tuple[Tenant, ...]] = []
+            for _, members in groups:
+                quotas = [
+                    min(len(self._queues[m.name]), self.server.max_batch)
+                    for m in members
+                ]
+                order: list[Tenant] = []
+                while any(quotas):
+                    for j, member in enumerate(members):
+                        if quotas[j]:
+                            order.append(member)
+                            quotas[j] -= 1
+                picks.append(tuple(order))
+            batch = tuple(len(p) for p in picks)
             execution = run_schedule(
                 result,
                 self.server.platform,
@@ -267,11 +379,19 @@ class ServingSession:
                 contention=self.server.contention,
             )
             timeline = execution.timeline
-            for n, tenant in enumerate(active):
-                for rep in range(batch[n]):
+            for n, stream_picks in enumerate(picks):
+                for rep, tenant in enumerate(stream_picks):
                     req = self._queues[tenant.name].popleft()
                     finish = self._now + timeline.completion(
                         dnn=n, rep=rep
+                    )
+                    latency = finish - req.arrival_s
+                    prev = self._latency_ewma.get(req.tenant)
+                    self._latency_ewma[req.tenant] = (
+                        latency
+                        if prev is None
+                        else _EWMA_ALPHA * latency
+                        + (1.0 - _EWMA_ALPHA) * prev
                     )
                     self.records.append(
                         ServedRequest(
@@ -298,7 +418,10 @@ class ServingSession:
                     index=len(self.rounds),
                     start_s=self._now,
                     end_s=self._now + duration,
-                    tenants=tuple(t.name for t in active),
+                    tenants=tuple(
+                        "+".join(m.name for m in members)
+                        for _, members in groups
+                    ),
                     batch=batch,
                     scheduler=scheduler_name,
                     timeline=timeline,
@@ -320,6 +443,11 @@ class ServingSession:
             list(self.rounds),
             tenant_slos=dict(self._slo),
             policy_stats=self.server.policy.stats(),
+            admission_stats=(
+                self._admission.stats()
+                if self._admission is not None
+                else None
+            ),
         )
 
 
@@ -332,6 +460,8 @@ def serve(
     max_batch: int = 1,
     contention: bool = True,
     max_requests: int = 10_000,
+    admission: AdmissionConfig | None = None,
+    batching: str = "tenant",
 ) -> FleetReport:
     """One-call convenience wrapper around :class:`Server`."""
     server = Server(
@@ -340,5 +470,7 @@ def serve(
         policy,
         max_batch=max_batch,
         contention=contention,
+        admission=admission,
+        batching=batching,
     )
     return server.run(horizon_s=horizon_s, max_requests=max_requests)

@@ -37,6 +37,9 @@ class ServedRequest:
     finish_s: float | None = None
     round_index: int | None = None
     rejected: bool = False
+    #: admission-controller deny reason (None when admitted or when
+    #: the shed came from the policy's depth bound)
+    shed_reason: str | None = None
 
     def __post_init__(self) -> None:
         if not self.rejected and (
@@ -124,6 +127,175 @@ class TenantStats:
         return metrics.goodput_rps(good, self.span_s)
 
 
+@dataclass(frozen=True)
+class TierConfig:
+    """Admission rules for one priority tier.
+
+    Every rule is optional; an all-``None`` tier admits everything.
+    ``rate_hz``/``burst`` form a token bucket refilled on *arrival*
+    instants, so the admitted prefix of a tenant's arrival stream is a
+    pure function of the stream itself (the balanced router replays
+    the same bucket when it weighs tenants).  ``depth_cap`` bounds the
+    tenant's backlog, and ``slack_factor`` sheds when the tenant's
+    measured latency estimate exceeds ``slack_factor * slo_s`` -- the
+    SLO-budget check, on virtual time only.
+    """
+
+    priority: int
+    rate_hz: float | None = None
+    burst: int = 4
+    depth_cap: int | None = None
+    slack_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.rate_hz is not None and self.rate_hz <= 0:
+            raise ValueError("rate_hz must be positive when set")
+        if self.burst < 1:
+            raise ValueError("burst must be >= 1")
+        if self.depth_cap is not None and self.depth_cap < 1:
+            raise ValueError("depth_cap must be >= 1 when set")
+        if self.slack_factor is not None and self.slack_factor <= 0:
+            raise ValueError("slack_factor must be positive when set")
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Priority-tiered admission rules (picklable, stateless).
+
+    The runtime state lives in :class:`AdmissionController`, built
+    fresh per serving session -- which is what lets the fleet ship one
+    config to every shard and keep shards independent.
+    """
+
+    tiers: tuple[TierConfig, ...] = ()
+
+    def __post_init__(self) -> None:
+        priorities = [t.priority for t in self.tiers]
+        if len(set(priorities)) != len(priorities):
+            raise ValueError(f"duplicate tier priorities: {priorities}")
+
+    def tier_for(self, priority: int) -> TierConfig | None:
+        for tier in self.tiers:
+            if tier.priority == priority:
+                return tier
+        return None
+
+
+#: deny reasons, in check order
+SHED_RATE, SHED_DEPTH, SHED_SLACK = "rate", "depth", "slo-slack"
+
+
+class AdmissionController:
+    """Stateful admission decisions for one serving session.
+
+    Decisions consume only virtual-time inputs (arrival instants,
+    queue depths, measured virtual latencies), so a session replayed
+    on any fleet backend sheds the identical request set.
+    """
+
+    def __init__(self, config: AdmissionConfig) -> None:
+        self.config = config
+        #: token-bucket state per tenant: (tokens, last refill instant)
+        self._buckets: dict[str, tuple[float, float]] = {}
+        self.admitted = 0
+        self.shed_by_reason: dict[str, int] = {}
+
+    def _bucket_admit(
+        self, tier: TierConfig, tenant: str, arrival_s: float
+    ) -> bool:
+        if tier.rate_hz is None:
+            return True
+        tokens, last = self._buckets.get(
+            tenant, (float(tier.burst), arrival_s)
+        )
+        tokens = min(
+            float(tier.burst), tokens + (arrival_s - last) * tier.rate_hz
+        )
+        if tokens >= 1.0:
+            self._buckets[tenant] = (tokens - 1.0, arrival_s)
+            return True
+        self._buckets[tenant] = (tokens, arrival_s)
+        return False
+
+    def decide(
+        self,
+        *,
+        tenant: str,
+        priority: int,
+        arrival_s: float,
+        queue_depth: int,
+        slo_s: float | None,
+        est_latency_s: float | None,
+    ) -> str | None:
+        """``None`` to admit, else the deny reason."""
+        tier = self.config.tier_for(priority)
+        if tier is None:
+            self.admitted += 1
+            return None
+        reason: str | None = None
+        if not self._bucket_admit(tier, tenant, arrival_s):
+            reason = SHED_RATE
+        elif tier.depth_cap is not None and queue_depth >= tier.depth_cap:
+            reason = SHED_DEPTH
+        elif (
+            tier.slack_factor is not None
+            and slo_s is not None
+            and est_latency_s is not None
+            and est_latency_s > tier.slack_factor * slo_s
+        ):
+            reason = SHED_SLACK
+        if reason is None:
+            self.admitted += 1
+            return None
+        self.shed_by_reason[reason] = self.shed_by_reason.get(reason, 0) + 1
+        return reason
+
+    @property
+    def shed(self) -> int:
+        return sum(self.shed_by_reason.values())
+
+    def stats(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "admitted": self.admitted,
+            "shed": self.shed,
+        }
+        for reason in sorted(self.shed_by_reason):
+            out[f"shed_{reason}"] = self.shed_by_reason[reason]
+        return out
+
+    def admitted_times(
+        self, tier: TierConfig | None, times: Sequence[float]
+    ) -> tuple[float, ...]:
+        """The arrival-only admitted prefix of an arrival stream.
+
+        Replays just the token bucket (depth and slack need queue
+        state a pre-pass cannot know) on a throwaway bucket -- the
+        deterministic weight the balanced router uses for admitted
+        (post-shed) backlog.  Never touches session state.
+        """
+        if tier is None or tier.rate_hz is None:
+            return tuple(times)
+        probe = AdmissionController(AdmissionConfig(tiers=(tier,)))
+        return tuple(
+            t
+            for t in times
+            if probe._bucket_admit(tier, "probe", t)
+        )
+
+
+def admitted_request_count(
+    config: AdmissionConfig | None,
+    priority: int,
+    times: Sequence[float],
+) -> int:
+    """Router-side pre-pass: how many of ``times`` the arrival-only
+    admission rules would let through (all of them without a config)."""
+    if config is None:
+        return len(times)
+    controller = AdmissionController(config)
+    return len(controller.admitted_times(config.tier_for(priority), times))
+
+
 class FleetReport:
     """Everything measured during one serving run."""
 
@@ -134,11 +306,17 @@ class FleetReport:
         *,
         tenant_slos: Mapping[str, float | None],
         policy_stats: Mapping[str, object],
+        admission_stats: Mapping[str, object] | None = None,
     ) -> None:
         self.requests = tuple(requests)
         self.rounds = tuple(rounds)
         self.tenant_slos = dict(tenant_slos)
         self.policy_stats = dict(policy_stats)
+        #: admission-controller counters (None when no controller ran,
+        #: which keeps legacy report bytes unchanged)
+        self.admission_stats = (
+            None if admission_stats is None else dict(admission_stats)
+        )
 
     # -- aggregate views ----------------------------------------------
     @property
@@ -274,6 +452,11 @@ class FleetReport:
             f"{k}={v}" for k, v in self.policy_stats.items()
         )
         lines.append(f"policy: {stats}")
+        if self.admission_stats is not None:
+            admission = ", ".join(
+                f"{k}={v}" for k, v in self.admission_stats.items()
+            )
+            lines.append(f"admission: {admission}")
         return "\n".join(lines)
 
     def __repr__(self) -> str:

@@ -342,6 +342,184 @@ class TestSolveStore:
         assert a.describe_shards() == b.describe_shards()
 
 
+class TestPinnedRouter:
+    def test_explicit_placement(self):
+        tenants = fleet_tenants(4)
+        pinned = {t.name: 3 - k for k, t in enumerate(tenants)}
+        router = ShardRouter(4, mode="pinned", pinned=pinned)
+        buckets = router.assign(tenants)
+        for k, tenant in enumerate(tenants):
+            assert tenant in buckets[3 - k]
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            ShardRouter(2, mode="pinned", pinned={"cam0": 2})
+
+    def test_rejects_missing_mapping(self):
+        with pytest.raises(ValueError, match="needs a pinned mapping"):
+            ShardRouter(2, mode="pinned")
+
+    def test_rejects_mapping_without_mode(self):
+        with pytest.raises(ValueError, match="requires mode"):
+            ShardRouter(2, pinned={"cam0": 0})
+
+    def test_unpinned_tenant_is_an_error(self):
+        router = ShardRouter(2, mode="pinned", pinned={"cam0": 0})
+        with pytest.raises(ValueError, match="no pinned shard"):
+            router.assign(fleet_tenants(2))
+
+
+class TestBalancedAdmitted:
+    """The balanced router weighs tenants by their *admitted* backlog:
+    a rate-capped heavy tenant must not monopolize a shard on the
+    strength of arrivals the admission tier would shed anyway."""
+
+    def _tenants(self):
+        heavy = Tenant.of(
+            "heavy",
+            "alexnet",
+            arrivals=PeriodicArrivals(400.0),
+            slo_s=0.1,
+        )
+        light = [
+            Tenant.of(
+                f"light{k}",
+                "alexnet",
+                arrivals=PeriodicArrivals(30.0),
+                slo_s=0.1,
+            )
+            for k in range(4)
+        ]
+        return [heavy] + light
+
+    def test_admitted_weight_changes_placement(self):
+        from repro.serve.slo import AdmissionConfig, TierConfig
+
+        tenants = self._tenants()
+        router = ShardRouter(2, mode="balanced")
+        raw = router.assign(tenants, horizon_s=0.5)
+        # uncapped, 200 raw heavy arrivals outweigh 4x15 light ones:
+        # the heavy tenant sits alone
+        assert [sorted(t.name for t in b) for b in raw] == [
+            ["heavy"],
+            ["light0", "light1", "light2", "light3"],
+        ]
+        # capped at 20 Hz the heavy tenant's *admitted* backlog is the
+        # lightest load, so the rebalancer mixes it with light tenants
+        capped = AdmissionConfig(
+            tiers=(TierConfig(priority=1, rate_hz=20.0, burst=1),)
+        )
+        admitted = router.assign(
+            tenants, horizon_s=0.5, admission=capped
+        )
+        assert [sorted(t.name for t in b) for b in admitted] == [
+            ["heavy", "light2"],
+            ["light0", "light1", "light3"],
+        ]
+
+    def test_routing_sequence_is_deterministic(self):
+        from repro.serve.slo import AdmissionConfig, TierConfig
+
+        capped = AdmissionConfig(
+            tiers=(TierConfig(priority=1, rate_hz=20.0, burst=1),)
+        )
+        router = ShardRouter(3, mode="balanced")
+        first = router.assign(
+            self._tenants(), horizon_s=0.5, admission=capped
+        )
+        again = router.assign(
+            self._tenants(), horizon_s=0.5, admission=capped
+        )
+        assert [[t.name for t in b] for b in first] == [
+            [t.name for t in b] for b in again
+        ]
+
+
+class TestBoundedLag:
+    """The max_lag sweep: lockstep must stay byte-identical to the
+    pre-change fleet, and every lag window must agree across backends
+    (and, on this gossip-inert workload, with lockstep itself)."""
+
+    #: sha256 of "\n".join(describe_shards()) for the 2-shard serial
+    #: lockstep run below, produced by the epoch-barrier fleet as of
+    #: the commit introducing max_lag (verified equal before/after)
+    PRE_CHANGE_DIGEST = (
+        "24d285cb9c506466fb3239647e7405652ab6d92c28c7d5d3d04aa63654527371"
+    )
+
+    def _run(self, xavier, xavier_db, *, backend, max_lag):
+        fleet = Fleet(
+            xavier,
+            fleet_tenants(),
+            make_factory(xavier, xavier_db),
+            shards=2,
+            backend=backend,
+            sync_rounds=4,
+            max_lag=max_lag,
+        )
+        return fleet.run(horizon_s=HORIZON)
+
+    def test_lockstep_matches_pre_change_fleet(
+        self, xavier, xavier_db
+    ):
+        import hashlib
+
+        report = self._run(
+            xavier, xavier_db, backend="serial", max_lag=0
+        )
+        blob = "\n".join(report.describe_shards()).encode()
+        assert (
+            hashlib.sha256(blob).hexdigest() == self.PRE_CHANGE_DIGEST
+        )
+
+    def test_max_lag_sweep_serial(self, xavier, xavier_db):
+        # the four tenants here carry four distinct models, so gossip
+        # is inert and the lag window must not change any report
+        baseline = self._run(
+            xavier, xavier_db, backend="serial", max_lag=0
+        ).describe_shards()
+        for lag in (1, 2, 4, 16):
+            swept = self._run(
+                xavier, xavier_db, backend="serial", max_lag=lag
+            )
+            assert swept.describe_shards() == baseline, lag
+            assert swept.max_lag == lag
+
+    def test_pipelined_identical_across_backends(
+        self, xavier, xavier_db
+    ):
+        serial = self._run(
+            xavier, xavier_db, backend="serial", max_lag=2
+        ).describe_shards()
+        threaded = self._run(
+            xavier, xavier_db, backend="thread", max_lag=2
+        )
+        assert threaded.describe_shards() == serial
+        if "fork" in multiprocessing.get_all_start_methods():
+            forked = self._run(
+                xavier, xavier_db, backend="fork", max_lag=2
+            )
+            assert forked.describe_shards() == serial
+
+    def test_pipelined_telemetry(self, xavier, xavier_db):
+        report = self._run(
+            xavier, xavier_db, backend="thread", max_lag=2
+        )
+        assert report.epochs > 0
+        assert report.mean_round_wall_ms() > 0
+        assert "pipeline: max_lag 2" in report.describe()
+
+    def test_rejects_negative_lag(self, xavier, xavier_db):
+        with pytest.raises(ValueError, match="max_lag"):
+            Fleet(
+                xavier,
+                fleet_tenants(),
+                make_factory(xavier, xavier_db),
+                shards=2,
+                max_lag=-1,
+            )
+
+
 class TestEdges:
     def test_more_shards_than_tenants(self, xavier, xavier_db):
         report = run_fleet(
