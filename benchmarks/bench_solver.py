@@ -12,7 +12,18 @@ the objective-equality and optimality assertions are checked on every
 attempt (they are deterministic -- a retry must never mask a
 correctness regression).  ``REPRO_FULL=1`` adds the larger
 max-groups-12 race the paper's timings correspond to.
+
+``test_bench_learned_guidance`` is the ISSUE-10 gate: train the
+:mod:`repro.learn` models on a store of solved fuzz scenarios, then
+race guided vs unguided portfolios on cold scenarios adjacent to that
+warm store under the deterministic virtual node clock.  The learned
+portfolio must reach its first naive-beating incumbent at least 1.5x
+faster (median TTFI) with a measurable tt5% win, while certifying
+bit-identical optima.  Because the race runs on virtual node time,
+the gate is deterministic -- no retries.
 """
+
+import time
 
 import pytest
 
@@ -23,6 +34,9 @@ from conftest import full_run
 #: acceptance threshold: portfolio tt5% <= 0.5x single-threaded bnb
 RATIO = 0.5
 ATTEMPTS = 3
+
+#: ISSUE-10 acceptance: guided portfolio median TTFI speedup floor
+LEARNED_TTFI_GATE = 1.5
 
 
 def _race_once(**kwargs):
@@ -60,6 +74,82 @@ def test_bench_solver_race(save_report, save_json):
             "ratio_threshold": RATIO,
             "tt5pct_portfolio_s": tt5_portfolio,
             "tt5pct_bnb_s": tt5_bnb,
+            "rows": rows,
+        },
+    )
+
+
+def test_bench_learned_guidance(save_report, save_json, tmp_path):
+    from repro.core.solve_store import SolveStore
+    from repro.experiments.common import format_table
+    from repro.learn.corpus import train_into_store
+    from repro.learn.evalrace import build_seed_store, guidance_race
+    from repro.learn.guide import SearchGuide
+
+    store = SolveStore(tmp_path / "learned_bench.jsonl")
+    seeded = build_seed_store(store, range(120), limit=16)
+    assert seeded["stored"] >= 8, "seed corpus unexpectedly small"
+
+    start = time.perf_counter()
+    train_stats = train_into_store(store)
+    train_ms = (time.perf_counter() - start) * 1e3
+    assert train_stats is not None
+
+    start = time.perf_counter()
+    guide = SearchGuide.from_store(store)
+    load_ms = (time.perf_counter() - start) * 1e3
+    assert guide is not None
+
+    rows, summary = guidance_race(
+        store, range(200, 400), limit=6, verify=True
+    )
+    assert summary["scenarios"] >= 4
+    # both runs certified the same optimum on every scenario, and
+    # every adopted schedule passed analysis.verify
+    assert summary["all_optimal"]
+    assert summary["objective_mismatches"] == 0
+    assert summary["verified"]
+    ttfi = summary["ttfi_speedup_median"]
+    tt5 = summary["tt5_speedup_median"]
+    assert ttfi is not None and ttfi >= LEARNED_TTFI_GATE, (
+        f"median TTFI speedup {ttfi} below the "
+        f"{LEARNED_TTFI_GATE}x gate"
+    )
+    assert tt5 is not None and tt5 > 1.0, (
+        f"median tt5% speedup {tt5} is not a win"
+    )
+
+    table = format_table(
+        rows,
+        (
+            "scenario",
+            "optimal",
+            "base_ttfi_s",
+            "learned_ttfi_s",
+            "ttfi_speedup",
+            "base_tt5_s",
+            "learned_tt5_s",
+            "tt5_speedup",
+            "base_nodes_to_opt",
+            "learned_nodes_to_opt",
+        ),
+        title="Learned guidance race: guided vs unguided portfolio "
+        "(virtual node clock, cold scenarios, warm store; "
+        f"model train {train_ms:.1f} ms, load {load_ms:.1f} ms)",
+    )
+    save_report("learned_guidance", table)
+    save_json(
+        "learned_guidance",
+        {
+            "ttfi_gate": bool(ttfi >= LEARNED_TTFI_GATE),
+            "ttfi_gate_threshold": LEARNED_TTFI_GATE,
+            "ttfi_speedup_median": ttfi,
+            "tt5_speedup_median": tt5,
+            "model_train_ms": train_ms,
+            "model_load_ms": load_ms,
+            "train_stats": train_stats,
+            "seeded": seeded,
+            "summary": summary,
             "rows": rows,
         },
     )

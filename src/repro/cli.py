@@ -25,6 +25,20 @@ Subcommands
     evaluator byte-identity, baseline dominance), shrink failures to
     minimal reproducers, and print a campaign digest.  Exits non-zero
     on any discrepancy.
+``haxconn learn train|stats|eval --store PATH``
+    Learned search guidance mined from the solve store
+    (:mod:`repro.learn`): ``train`` fits the branch-ordering and
+    warm-start-quality models on the store's schedules and writes the
+    bundle back as a ``model`` record; ``stats`` summarizes the
+    training corpus; ``eval`` races the guided vs unguided portfolio
+    on held-out fuzz scenarios under the virtual node clock and
+    reports the TTFI / tt5% speedups (exits non-zero if any scenario
+    misses its certified optimum).
+``haxconn store gc|stats PATH``
+    Solve-store maintenance: ``gc`` compacts the JSONL log in place
+    (drops superseded schedule/model records and duplicate lines,
+    byte-preserving the survivors); ``stats`` prints record counts
+    and size.
 ``haxconn lint [PATH ...]``
     Run the determinism/concurrency lint (HAX001-HAX008) over the
     given paths (default: the installed ``repro`` package).
@@ -207,6 +221,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batching=args.batching,
             store=store,
             transport=args.transport,
+            learn_train=args.learn_train,
         )
         fleet_report = fleet.run(horizon_s=args.horizon)
         print(fleet_report.describe())
@@ -215,6 +230,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 f"solve store: {len(store)} records, "
                 f"{len(store.schedules())} schedules over "
                 f"{len(store.signatures())} signatures at {store.path}"
+            )
+        if fleet.learn_stats is not None:
+            print(
+                f"learn: retrained on "
+                f"{fleet.learn_stats['scenarios']} scenario(s), "
+                f"{fleet.learn_stats['branch_examples']} branch "
+                f"example(s), schema {fleet.learn_stats['schema']}"
             )
         if args.trace:
             path = fleet_report.export_chrome_trace(args.trace)
@@ -243,6 +265,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             f"{len(store.schedules())} schedules over "
             f"{len(store.signatures())} signatures at {store.path}"
         )
+        if args.learn_train:
+            from repro.learn.corpus import train_into_store
+
+            learn_stats = train_into_store(store)
+            if learn_stats is not None:
+                print(
+                    f"learn: retrained on "
+                    f"{learn_stats['scenarios']} scenario(s), "
+                    f"{learn_stats['branch_examples']} branch "
+                    f"example(s), schema {learn_stats['schema']}"
+                )
     if args.trace:
         path = report.export_chrome_trace(args.trace)
         print(f"Chrome trace written to {path}")
@@ -385,6 +418,129 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"  reproducer: {args.corpus}/{artifact_name(entry.spec)}")
     print(f"campaign digest: {report.digest}")
     return 0 if report.ok else 1
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    from repro.core.solve_store import SolveStore
+
+    store = SolveStore(args.store)
+    if args.action == "train":
+        from repro.learn.corpus import train_into_store
+
+        if args.seeds is not None:
+            from repro.learn.evalrace import build_seed_store
+
+            try:
+                seeds = parse_seed_range(args.seeds)
+            except ValueError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            seeded = build_seed_store(store, seeds, limit=args.limit)
+            print(
+                f"seeded {seeded['stored']} scenario(s) into the store "
+                f"({seeded['skipped']} skipped)"
+            )
+        stats = train_into_store(store, min_schedules=args.min_schedules)
+        if stats is None:
+            print(
+                "not trained: store is read-only or holds fewer than "
+                f"{args.min_schedules} usable schedules",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"trained model on {stats['scenarios']} scenario(s): "
+            f"{stats['branch_examples']} branch example(s) "
+            f"({stats['branch_positives']} positive), "
+            f"{stats['quality_examples']} quality example(s); "
+            f"schema {stats['schema']}"
+        )
+        return 0
+    if args.action == "stats":
+        from repro.learn.corpus import corpus_stats
+        from repro.learn.guide import SearchGuide
+
+        stats = corpus_stats(store)
+        for key in sorted(stats):
+            print(f"{key}: {stats[key]}")
+        guide = SearchGuide.from_store(store)
+        print(
+            "model: "
+            + (guide.bundle.sig if guide is not None else "absent")
+        )
+        return 0
+    # eval: race guided vs unguided portfolios on held-out scenarios
+    from repro.learn.evalrace import guidance_race
+
+    try:
+        seeds = parse_seed_range(args.seeds or "200:400")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        rows, summary = guidance_race(
+            store,
+            seeds,
+            limit=args.limit,
+            workers=args.workers,
+            verify=True,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for row in rows:
+        tt5 = row["tt5_speedup"]
+        print(
+            f"{row['scenario']}: ttfi {row['ttfi_speedup']:.2f}x, "
+            f"tt5% {'n/a' if tt5 is None else f'{tt5:.2f}x'}, "
+            f"nodes-to-opt {row['base_nodes_to_opt']} -> "
+            f"{row['learned_nodes_to_opt']}"
+            + ("" if row["optimal"] else "  [NOT OPTIMAL]")
+        )
+    ttfi = summary["ttfi_speedup_median"]
+    tt5m = summary["tt5_speedup_median"]
+    print(
+        f"guidance race: {summary['scenarios']} scenario(s), "
+        f"median ttfi speedup "
+        f"{'n/a' if ttfi is None else f'{ttfi:.2f}x'}, "
+        f"median tt5% speedup "
+        f"{'n/a' if tt5m is None else f'{tt5m:.2f}x'}"
+    )
+    ok = (
+        summary["scenarios"] > 0
+        and summary["all_optimal"]
+        and summary["objective_mismatches"] == 0
+    )
+    if ok:
+        # the greppable CI gate line: every adopted schedule passed
+        # analysis.verify and both runs certified the same optimum
+        print(
+            f"certificates verified: {summary['scenarios']}/"
+            f"{summary['scenarios']} scenario(s) optimal, "
+            "0 objective mismatches"
+        )
+    else:
+        print("guidance race FAILED", file=sys.stderr)
+    return 0 if ok else 1
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.core.solve_store import SolveStore
+
+    store = SolveStore(args.path)
+    if args.action == "gc":
+        before = store.stats()
+        result = store.compact()
+        print(
+            f"compacted {store.path}: kept {result['kept']} of "
+            f"{before['records']} record(s), dropped "
+            f"{result['dropped']}, {result['bytes']} byte(s)"
+        )
+        return 0
+    stats = store.stats()
+    for key in sorted(stats):
+        print(f"{key}: {stats[key]}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -606,6 +762,13 @@ def build_parser() -> argparse.ArgumentParser:
         "model tenants coalesced into one continuous-batch stream",
     )
     p.add_argument(
+        "--learn-train",
+        action="store_true",
+        help="after the run, retrain the learned search-guidance "
+        "models on the (updated) solve store so the next run's "
+        "portfolio starts warmer",
+    )
+    p.add_argument(
         "--transport",
         choices=("auto", "shm", "queue"),
         default="auto",
@@ -674,6 +837,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist failing reproducers as JSON artifacts here",
     )
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "learn",
+        help="learned search guidance mined from the solve store",
+    )
+    p.add_argument(
+        "action",
+        choices=("train", "stats", "eval"),
+        help="train models on the store, summarize the corpus, or "
+        "race guided vs unguided portfolios on held-out scenarios",
+    )
+    p.add_argument(
+        "--store",
+        required=True,
+        help="solve-store path (JSONL) to train from / evaluate against",
+    )
+    p.add_argument(
+        "--seeds",
+        default=None,
+        metavar="A:B",
+        help="fuzz seed range: scenarios to solve-and-store before "
+        "training (train), or the held-out pool to race on (eval; "
+        "default 200:400)",
+    )
+    p.add_argument(
+        "--limit",
+        type=int,
+        default=12,
+        help="cap on scenarios seeded (train) or raced (eval)",
+    )
+    p.add_argument(
+        "--min-schedules",
+        type=int,
+        default=4,
+        help="fewest stored schedules worth training on",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        help="portfolio worker count for the eval race",
+    )
+    p.set_defaults(fn=_cmd_learn)
+
+    p = sub.add_parser(
+        "store",
+        help="solve-store maintenance: compaction and stats",
+    )
+    p.add_argument(
+        "action",
+        choices=("gc", "stats"),
+        help="gc compacts the JSONL log in place; stats prints counts",
+    )
+    p.add_argument("path", help="solve-store path (JSONL)")
+    p.set_defaults(fn=_cmd_store)
 
     p = sub.add_parser(
         "lint",

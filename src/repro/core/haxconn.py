@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 import numpy as np
 
@@ -31,6 +31,9 @@ from repro.solver.bnb import BranchAndBound, Incumbent, SolveResult
 from repro.solver.portfolio import PortfolioSolver
 from repro.solver.problem import Assignment, Infeasible, Problem, Variable
 from repro.soc.platform import Platform, get_platform
+
+if TYPE_CHECKING:  # layering: core never imports learn at runtime
+    from repro.learn.guide import SearchGuide
 
 
 def stream_profiles(
@@ -124,6 +127,13 @@ class HaXCoNN:
     solver_transport:
         Portfolio configuration, ignored for ``"bnb"``; see
         :class:`~repro.solver.portfolio.PortfolioSolver`.
+    guide:
+        Optional store-trained :class:`~repro.learn.guide.SearchGuide`.
+        With the portfolio solver it adds learned root seeds and the
+        ``learned`` strategy (branch ordering by predicted fragment
+        quality); guidance only reorders search, so the certified
+        optimum is identical with or without it.  Ignored by plain
+        ``bnb`` and callable solvers.
     """
 
     def __init__(
@@ -147,6 +157,7 @@ class HaXCoNN:
         solver_clock: str = "wall",
         solver_transport: str = "auto",
         verify: bool = False,
+        guide: "SearchGuide | None" = None,
     ) -> None:
         self.platform = (
             get_platform(platform) if isinstance(platform, str) else platform
@@ -175,6 +186,7 @@ class HaXCoNN:
         self.solver_backend = solver_backend
         self.solver_clock = solver_clock
         self.solver_transport = solver_transport
+        self.guide = guide
         #: evaluation-engine counters, accumulated across every
         #: formulation this scheduler builds (D-HaX-CoNN re-solves
         #: mixes online, so per-formulation counters would reset on
@@ -742,6 +754,11 @@ class HaXCoNN:
                 {f"dnn{n}": tuple(a) for n, a in enumerate(initial)},
             )
         if self.solver == "portfolio":
+            problem_guide = None
+            if self.guide is not None:
+                problem_guide = self.guide.for_problem(
+                    self, workload, formulation=formulation, problem=problem
+                )
             portfolio = PortfolioSolver(
                 workers=self.solver_workers,
                 time_budget_s=self.time_budget_s,
@@ -755,6 +772,11 @@ class HaXCoNN:
                 # and the parent keeps the union, so D-HaX-CoNN's next
                 # re-solve of a similar mix starts memo-warm
                 shared_state=formulation.engine.memo,
+                guide=(
+                    problem_guide.scores
+                    if problem_guide is not None
+                    else None
+                ),
             )
             seeds = self.contention_oblivious_seeds(
                 workload, formulation, problem
@@ -771,6 +793,14 @@ class HaXCoNN:
                             },
                         ),
                     )
+                )
+            if problem_guide is not None:
+                # predicted-optimum seeds: evaluated at the root like
+                # any other warm start, so a wrong prediction costs one
+                # evaluation, never a wrong result
+                seeds.extend(
+                    (label, self.canonicalize_assignment(workload, guess))
+                    for label, guess in problem_guide.synthesized_seeds()
                 )
             result = portfolio.solve(
                 problem,

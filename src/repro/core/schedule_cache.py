@@ -12,9 +12,10 @@ its schedules alongside its engines.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from repro.core.haxconn import HaXCoNN, ScheduleResult
 from repro.core.schedule import DNNSchedule, Schedule
@@ -102,6 +103,14 @@ class ScheduleCache:
         self._pending: list[tuple[str, dict[str, Any]]] = []
         #: persistent write-through target (None = in-memory only)
         self._write_store: "SolveStore | None" = None
+        #: optional learned warm-start ranker
+        #: ``(workload, model key, assignment) -> score`` (higher is
+        #: better); see :meth:`repro.learn.guide.SearchGuide.
+        #: fragment_ranker`.  ``None`` scores every fragment 0.0, so
+        #: ordering falls back to the content sha alone.
+        self.ranker: (
+            Callable[[Workload, str, tuple[str, ...]], float] | None
+        ) = None
 
     def __len__(self) -> int:
         return len(self._store)
@@ -237,6 +246,12 @@ class ScheduleCache:
             out[f"eval_{key}"] = value
         return out
 
+    @staticmethod
+    def _fragment_sha(assignment: tuple[str, ...]) -> str:
+        """Content address of one fragment (the ordering tie-break)."""
+        blob = json.dumps(list(assignment), separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     def warm_starts(
         self, workload: Workload, *, limit: int = 2
     ) -> list[tuple[str, list[tuple[str, ...]]]]:
@@ -249,9 +264,19 @@ class ScheduleCache:
         domains (grouping or transition-budget changes simply drop
         it), so stale fragments are harmless.  Returns up to ``limit``
         labeled seeds in ``schedule(warm_starts=...)`` shape.
+
+        Candidate ordering is *explicitly keyed*, never an artifact of
+        store iteration order: each bucket sorts by ``(-predicted
+        quality, fragment sha)``, where quality comes from the learned
+        :attr:`ranker` (0.0 without one, so the content sha alone
+        decides).  The same cache contents therefore produce the same
+        seeds after any adoption order, gossip interleaving, or store
+        compaction -- the property the provenance regression test
+        pins.
         """
         fragments: dict[str, list[tuple[str, ...]]] = {}
-        for schedule in self._store.values():
+        for sig in sorted(self._store):
+            schedule = self._store[sig]
             if schedule.serialized:
                 continue  # uniform-GPU fragments add nothing over gpu-only
             for stream in schedule.per_dnn:
@@ -259,6 +284,19 @@ class ScheduleCache:
                 bucket = fragments.setdefault(key, [])
                 if stream.assignment not in bucket:
                     bucket.append(stream.assignment)
+        for key, bucket in fragments.items():
+            scores: dict[tuple[str, ...], float] = {}
+            for assignment in bucket:
+                score = 0.0
+                if self.ranker is not None:
+                    try:
+                        score = float(self.ranker(workload, key, assignment))
+                    except Exception:
+                        score = 0.0  # a broken ranker must not block seeds
+                scores[assignment] = score
+            bucket.sort(
+                key=lambda a: (-scores[a], self._fragment_sha(a))
+            )
 
         seeds: list[tuple[str, list[tuple[str, ...]]]] = []
         keys = [d.name.split("@")[0] for d in workload.dnns]

@@ -24,6 +24,21 @@ is ``[[ [accel, ...], ... ], serialized, check_exclusive]`` and
 ``value`` is ``["ok", [per_dnn...], objective, makespan, energy|null,
 iterations]`` or ``["bad", message]``.
 
+``{"v": 1, "kind": "model", "sig": "learn:v<n>:<schema id>",
+"id": "sha256:<hex>", "model": {...}}`` -- a trained guidance bundle
+(see :mod:`repro.learn.models`), keyed by model-record version plus
+feature-schema id so extractors only ever load models trained under
+their exact feature layout.  Like schedules, the latest model record
+per signature wins (retraining supersedes in place).  Model
+signatures are deliberately *excluded* from :meth:`SolveStore.
+signatures`, which enumerates solve artifacts for gossip/delta
+protocols; models travel by whole-store sharing instead.
+
+Append-only files only grow; :meth:`SolveStore.compact` rewrites the
+file with just the live records (all memo batches, the last schedule
+and model per signature), using a temp-file + atomic-rename so a
+crash mid-compaction leaves the original intact.
+
 Records are content-addressed: ``id`` is the SHA-256 of the canonical
 (sorted-keys, compact) JSON of ``[kind, sig, body]``, and appends
 deduplicate on it, so replaying gossip deltas or re-running a
@@ -38,6 +53,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping, Sequence
 
@@ -118,6 +134,7 @@ class SolveStore:
         self._ids: set[str] = set()
         self._schedules: dict[str, dict[str, Any]] = {}
         self._memo: dict[str, list[tuple[Any, Any]]] = {}
+        self._models: dict[str, dict[str, Any]] = {}
         #: malformed lines skipped while loading (crash-tolerant tail)
         self.skipped_lines = 0
         if self.path.exists():
@@ -160,6 +177,8 @@ class SolveStore:
                 memo_entry_from_json(item) for item in record["entries"]
             ]
             self._memo.setdefault(sig, []).extend(converted)
+        elif kind == "model":
+            self._models[sig] = dict(record["model"])
         else:
             raise KeyError(f"unknown record kind {kind!r}")
         self._ids.add(rid)
@@ -170,7 +189,12 @@ class SolveStore:
         return len(self._ids)
 
     def signatures(self) -> tuple[str, ...]:
-        """Every signature with any stored artifact, sorted."""
+        """Every workload signature with a solve artifact, sorted.
+
+        Model records are excluded on purpose: this enumeration feeds
+        the fleet's gossip/delta protocol, which ships schedules and
+        memo fragments keyed by workload signature.
+        """
         return tuple(sorted(set(self._schedules) | set(self._memo)))
 
     def schedules(self) -> dict[str, dict[str, Any]]:
@@ -180,6 +204,34 @@ class SolveStore:
     def memo_for(self, sig: str) -> tuple[tuple[Any, Any], ...]:
         """Accumulated memo entries for one signature, in file order."""
         return tuple(self._memo.get(sig, ()))
+
+    def models(self) -> dict[str, dict[str, Any]]:
+        """Latest model body per model signature."""
+        return dict(self._models)
+
+    def model_sigs(self) -> tuple[str, ...]:
+        """Every model signature, sorted."""
+        return tuple(sorted(self._models))
+
+    def model_for(self, sig: str) -> dict[str, Any] | None:
+        """Latest model body stored under ``sig``, or ``None``."""
+        body = self._models.get(sig)
+        return dict(body) if body is not None else None
+
+    def stats(self) -> dict[str, Any]:
+        """Live-record counts plus on-disk size, for ``store stats``."""
+        return {
+            "path": str(self.path),
+            "records": len(self._ids),
+            "schedules": len(self._schedules),
+            "memo_signatures": len(self._memo),
+            "memo_entries": sum(len(v) for v in self._memo.values()),
+            "models": len(self._models),
+            "bytes": (
+                self.path.stat().st_size if self.path.exists() else 0
+            ),
+            "skipped_lines": self.skipped_lines,
+        }
 
     # -- appends -------------------------------------------------------
     def _append(self, kind: str, sig: str, field: str, body: Any) -> bool:
@@ -226,9 +278,84 @@ class SolveStore:
         body = [memo_entry_to_json(key, value) for key, value in entries]
         return self._append("memo", sig, "entries", body)
 
+    def append_model(self, sig: str, body: Mapping[str, Any]) -> bool:
+        """Record a trained guidance bundle (last-wins per signature).
+
+        ``body`` must be JSON-serializable -- in practice a
+        :meth:`repro.learn.models.ModelBundle.to_dict` payload.
+        Returns False when the identical record is already stored.
+        """
+        return self._append("model", sig, "model", dict(body))
+
+    # -- maintenance ---------------------------------------------------
+    def compact(self) -> dict[str, int]:
+        """Rewrite the file with only the live records.
+
+        Keeps, in original file order: every memo batch, and the *last*
+        schedule and model record per signature (earlier ones are the
+        superseded history).  Duplicate record ids and malformed lines
+        are dropped.  Kept lines are copied byte-for-byte -- no
+        re-serialization -- and the rewrite lands via a temp file and
+        :func:`os.replace`, so a crash mid-compaction leaves the
+        original file intact.  In-memory state is reloaded from the
+        compacted file.  Raises :class:`ValueError` on a read-only
+        store.
+        """
+        if self.readonly:
+            raise ValueError(f"solve store {self.path} is read-only")
+        if not self.path.exists():
+            return {"kept": 0, "dropped": 0, "bytes": 0}
+        lines = self.path.read_text().splitlines()
+        # last line index per (kind, sig) for the last-wins kinds
+        last: dict[tuple[str, str], int] = {}
+        parsed: list[tuple[str, str, str] | None] = []
+        for i, line in enumerate(lines):
+            try:
+                record = json.loads(line)
+                kind = str(record["kind"])
+                sig = str(record["sig"])
+                rid = str(record["id"])
+                if kind not in ("schedule", "memo", "model"):
+                    raise KeyError(kind)
+            except (ValueError, KeyError, TypeError, IndexError):
+                parsed.append(None)
+                continue
+            parsed.append((kind, sig, rid))
+            if kind in ("schedule", "model"):
+                last[(kind, sig)] = i
+        seen_ids: set[str] = set()
+        kept: list[str] = []
+        for i, line in enumerate(lines):
+            meta = parsed[i]
+            if meta is None:
+                continue
+            kind, sig, rid = meta
+            if rid in seen_ids:
+                continue
+            if kind in ("schedule", "model") and last[(kind, sig)] != i:
+                continue
+            seen_ids.add(rid)
+            kept.append(line)
+        tmp = self.path.with_name(self.path.name + ".compact.tmp")
+        text = "".join(line + "\n" for line in kept)
+        tmp.write_text(text, encoding="utf-8")
+        os.replace(tmp, self.path)
+        self._ids.clear()
+        self._schedules.clear()
+        self._memo.clear()
+        self._models.clear()
+        self.skipped_lines = 0
+        self._load()
+        return {
+            "kept": len(kept),
+            "dropped": len(lines) - len(kept),
+            "bytes": len(text.encode("utf-8")),
+        }
+
     def __repr__(self) -> str:
         return (
             f"<SolveStore {self.path} {len(self._ids)} records, "
             f"{len(self._schedules)} schedules, "
-            f"{sum(len(v) for v in self._memo.values())} memo entries>"
+            f"{sum(len(v) for v in self._memo.values())} memo entries, "
+            f"{len(self._models)} models>"
         )

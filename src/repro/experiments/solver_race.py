@@ -18,11 +18,15 @@ Run via ``haxconn experiment solver-race``.
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
 
 from repro.core.haxconn import HaXCoNN
 from repro.core.workload import Workload
 from repro.experiments.common import format_table, get_db
 from repro.solver.bnb import Incumbent
+
+if TYPE_CHECKING:
+    from repro.learn.guide import SearchGuide
 
 #: default scenario: three dissimilar networks on the three-DSA SD865
 PLATFORM = "sd865"
@@ -46,6 +50,17 @@ def anytime_profile(
     return first_s, tt_within
 
 
+def nodes_to_optimal(incumbents: list[Incumbent]) -> int | None:
+    """Explored-node count when the final incumbent first appeared."""
+    if not incumbents:
+        return None
+    final = incumbents[-1].objective
+    return next(
+        (i.nodes_explored for i in incumbents if i.objective == final),
+        None,
+    )
+
+
 def race(
     platform: str = PLATFORM,
     models: tuple[str, ...] = MODELS,
@@ -54,12 +69,18 @@ def race(
     max_transitions: int = MAX_TRANSITIONS,
     workers: int = 3,
     seed: int = 0,
+    guide: "SearchGuide | None" = None,
 ) -> list[dict[str, object]]:
-    """Race both solvers on one workload; one result row per solver."""
+    """Race the solvers on one workload; one result row per solver.
+
+    With a store-trained ``guide`` (see :mod:`repro.learn`) a third
+    ``learned/N`` row races the guided portfolio -- same worker count,
+    same seed -- so its anytime profile is directly comparable to the
+    unguided portfolio row.
+    """
     db = get_db(platform)
     workload = Workload.concurrent(*models, objective="latency")
-    rows = []
-    for label, kwargs in (
+    configs: list[tuple[str, dict[str, object]]] = [
         ("bnb", {"solver": "bnb"}),
         (
             f"portfolio/{workers}",
@@ -69,13 +90,27 @@ def race(
                 "solver_seed": seed,
             },
         ),
-    ):
+    ]
+    if guide is not None:
+        configs.append(
+            (
+                f"learned/{workers}",
+                {
+                    "solver": "portfolio",
+                    "solver_workers": workers,
+                    "solver_seed": seed,
+                    "guide": guide,
+                },
+            )
+        )
+    rows = []
+    for label, kwargs in configs:
         scheduler = HaXCoNN(
             platform,
             db=db,
             max_groups=max_groups,
             max_transitions=max_transitions,
-            **kwargs,
+            **kwargs,  # type: ignore[arg-type]
         )
         start = time.perf_counter()
         result = scheduler.schedule(workload)
@@ -96,6 +131,7 @@ def race(
                 "tt5pct_s": tt5,
                 "total_s": elapsed,
                 "nodes": solve.nodes_explored,
+                "nodes_to_opt": nodes_to_optimal(solve.incumbents),
                 "evals": int(counters["evals"]),
                 "memo_hit_%": counters["memo_hit_rate"] * 100.0,
                 "fp_iter": counters["fp_iter_mean"],
@@ -120,6 +156,7 @@ def format_results(rows: list[dict[str, object]]) -> str:
             "tt5pct_s",
             "total_s",
             "nodes",
+            "nodes_to_opt",
             "evals",
             "memo_hit_%",
             "fp_iter",

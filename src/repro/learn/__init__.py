@@ -1,0 +1,46 @@
+"""Learned search guidance mined from the solve store.
+
+The solve store accumulates certified (workload signature ->
+schedule) pairs across serving, fleet, and fuzz runs; this package
+turns that corpus into *anytime-safe* solver guidance:
+
+- :mod:`repro.learn.features` -- deterministic, versioned feature
+  extraction from workload signatures, layer-group tensors, PCCS
+  contention tables, and platform descriptors,
+- :mod:`repro.learn.models` -- small pure-NumPy logistic-regression
+  and depth-bounded decision-tree models with a compact JSON
+  serialization stored in the solve store as ``model`` records,
+- :mod:`repro.learn.guide` -- the three predictors wired into the
+  solver hot path: branch-ordering scores, warm-start ranking, and
+  an incumbent-quality estimator,
+- :mod:`repro.learn.corpus` -- training-set construction from stored
+  schedules and the ``haxconn learn train`` entry point,
+- :mod:`repro.learn.evalrace` -- the held-out guidance race behind
+  ``haxconn learn eval`` and the bench gate.
+
+Guidance only *reorders* search: the branch-and-bound lower bound
+still proves optimality and ``analysis.verify`` still gates every
+adopted schedule, so a bad model can never change a result -- it can
+only fail to speed one up (see docs/architecture.md section 5c).
+"""
+
+from repro.learn.features import (
+    FEATURE_NAMES,
+    FEATURE_SCHEMA_VERSION,
+    FeatureContext,
+    feature_schema_id,
+)
+from repro.learn.guide import SearchGuide
+from repro.learn.models import LogisticModel, ModelBundle, TreeModel, model_sig
+
+__all__ = [
+    "FEATURE_NAMES",
+    "FEATURE_SCHEMA_VERSION",
+    "FeatureContext",
+    "feature_schema_id",
+    "SearchGuide",
+    "LogisticModel",
+    "ModelBundle",
+    "TreeModel",
+    "model_sig",
+]

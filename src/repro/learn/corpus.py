@@ -1,0 +1,386 @@
+"""Training-set construction and model training from the solve store.
+
+The store keys every schedule by :func:`repro.core.schedule_cache.
+workload_signature`, which encodes the full scheduler configuration --
+platform, grouping, transition budget, cost-model flags, objective,
+and the stream mix.  That makes stored records *re-materializable*:
+:func:`parse_signature` inverts the signature, a fresh scheduler and
+formulation are rebuilt hermetically (no environment reads, fresh
+:class:`~repro.profiling.database.ProfileDB` per platform), and the
+stored optimal schedule becomes labeled training data:
+
+- **branch examples** -- per stream, the stored fragment is the
+  positive; the most competitive other domain values (lowest isolated
+  chain time) are negatives,
+- **quality examples** -- the stored optimum plus the
+  contention-oblivious baselines, each labeled with ``objective /
+  |serialized-GPU objective|`` (lower is better for every objective).
+
+Only PCCS-configured records parse back exactly (other contention
+models are skipped: a record must re-materialize against the *same*
+cost model it was solved under), and serialized-fallback records are
+skipped entirely -- they carry no information about which concurrent
+fragment wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.learn.features import FeatureContext, FloatArray, feature_schema_id
+from repro.learn.models import LogisticModel, ModelBundle, TreeModel
+
+if TYPE_CHECKING:
+    from repro.core.haxconn import HaXCoNN
+    from repro.core.solve_store import SolveStore
+    from repro.core.workload import Workload
+
+#: negatives kept per stream: the most competitive (fastest isolated)
+#: non-optimal fragments, a deterministic subsample of the domain
+NEGATIVES_PER_STREAM = 48
+
+#: minimum labeled branch examples (and positives) worth training on
+MIN_BRANCH_EXAMPLES = 24
+MIN_POSITIVES = 2
+
+
+@dataclass(frozen=True)
+class ParsedSignature:
+    """A workload signature, inverted back into scheduler settings."""
+
+    platform: str
+    max_groups: int | None
+    max_transitions: int
+    include_transitions: bool
+    resource_constrained: bool
+    fallback_margin: float
+    epsilon_makespan_frac: float
+    contention: str
+    objective: str
+    #: per stream: (model chain, repeats)
+    streams: tuple[tuple[tuple[str, ...], int], ...]
+    pipeline: tuple[tuple[int, int], ...]
+
+
+def parse_signature(sig: str) -> ParsedSignature | None:
+    """Invert :func:`~repro.core.schedule_cache.workload_signature`.
+
+    Returns ``None`` for signatures this version cannot parse --
+    records from configurations the trainer does not model are simply
+    not training data.
+    """
+    parts = sig.split("|")
+    if len(parts) != 11:
+        return None
+    try:
+        streams = []
+        for entry in parts[9].split(";"):
+            chain, _x, repeats = entry.rpartition("x")
+            if not chain:
+                return None
+            streams.append((tuple(chain.split("+")), int(repeats)))
+        pipeline = tuple(
+            (int(edge.split("->")[0]), int(edge.split("->")[1]))
+            for edge in parts[10].split(",")
+            if edge
+        )
+        return ParsedSignature(
+            platform=parts[0],
+            max_groups=None if parts[1] == "None" else int(parts[1]),
+            max_transitions=int(parts[2]),
+            include_transitions=parts[3] == "True",
+            resource_constrained=parts[4] == "True",
+            fallback_margin=float(parts[5]),
+            epsilon_makespan_frac=float(parts[6]),
+            contention=parts[7],
+            objective=parts[8],
+            streams=tuple(streams),
+            pipeline=pipeline,
+        )
+    except (ValueError, IndexError):
+        return None
+
+
+#: hermetic per-process profile databases, one per platform name
+_DBS: dict[str, Any] = {}
+
+
+def _database(platform: str) -> Any:
+    # deferred: profiling pulls in the simulator stack
+    from repro.profiling.database import ProfileDB
+    from repro.soc.platform import get_platform
+
+    db = _DBS.get(platform)
+    if db is None:
+        db = ProfileDB(get_platform(platform))
+        _DBS[platform] = db
+    return db
+
+
+def rematerialize(
+    parsed: ParsedSignature,
+) -> tuple["HaXCoNN", "Workload"] | None:
+    """Scheduler + workload for a parsed signature, or ``None`` when
+    the configuration cannot be rebuilt exactly (unknown platform or
+    model, non-PCCS contention)."""
+    from repro.core.haxconn import HaXCoNN
+    from repro.core.workload import Workload, WorkloadDNN
+
+    if parsed.contention != "PCCSModel":
+        return None
+    try:
+        db = _database(parsed.platform)
+    except (KeyError, ValueError):
+        return None
+    seen: dict[tuple[tuple[str, ...], int], int] = {}
+    dnns = []
+    for models, repeats in parsed.streams:
+        count = seen.get((models, repeats), 0)
+        seen[(models, repeats)] = count + 1
+        dnns.append(
+            WorkloadDNN(models=models, repeats=repeats, instance=count)
+        )
+    try:
+        workload = Workload(
+            dnns=tuple(dnns),
+            objective=parsed.objective,
+            pipeline=parsed.pipeline,
+        )
+        scheduler = HaXCoNN(
+            parsed.platform,
+            db=db,
+            max_groups=parsed.max_groups,
+            max_transitions=parsed.max_transitions,
+            include_transitions=parsed.include_transitions,
+            resource_constrained=parsed.resource_constrained,
+            fallback_margin=parsed.fallback_margin,
+            epsilon_makespan_frac=parsed.epsilon_makespan_frac,
+        )
+        # touch one profile so unknown model names fail here, not later
+        for dnn in workload:
+            for model in dnn.models:
+                db.profile(model, max_groups=parsed.max_groups)
+    except (KeyError, ValueError):
+        return None
+    return scheduler, workload
+
+
+@dataclass
+class TrainingSet:
+    """Labeled examples mined from the store, plus mining telemetry."""
+
+    branch_x: FloatArray
+    branch_y: FloatArray
+    quality_x: FloatArray
+    quality_y: FloatArray
+    scenarios: int
+    skipped: int
+
+    @property
+    def positives(self) -> int:
+        return int(self.branch_y.sum())
+
+
+def build_training_set(
+    store: "SolveStore", *, max_scenarios: int | None = None
+) -> TrainingSet:
+    """Mine every parseable stored schedule into labeled examples."""
+    from repro.solver.problem import Infeasible
+
+    branch_rows: list[FloatArray] = []
+    branch_labels: list[float] = []
+    quality_rows: list[FloatArray] = []
+    quality_labels: list[float] = []
+    scenarios = 0
+    skipped = 0
+    for sig, payload in sorted(store.schedules().items()):
+        if max_scenarios is not None and scenarios >= max_scenarios:
+            break
+        if payload["serialized"]:
+            skipped += 1
+            continue
+        parsed = parse_signature(sig)
+        if parsed is None:
+            skipped += 1
+            continue
+        built = rematerialize(parsed)
+        if built is None:
+            skipped += 1
+            continue
+        scheduler, workload = built
+        try:
+            ctx = FeatureContext(scheduler, workload)
+        except (Infeasible, KeyError, ValueError):
+            skipped += 1
+            continue
+        streams = payload["streams"]
+        if len(streams) != ctx.n_streams:
+            skipped += 1
+            continue
+        stored = [tuple(s["assignment"]) for s in streams]
+        if any(
+            stored[n] not in ctx.problem.variables[n].domain
+            for n in range(ctx.n_streams)
+        ):
+            skipped += 1  # grouping drift: fragment left the domain
+            continue
+
+        # -- branch examples: stored fragment vs competitive others ----
+        for n, variable in enumerate(ctx.problem.variables):
+            competitors = sorted(
+                (a for a in variable.domain if a != stored[n]),
+                key=lambda a: (ctx.chain_time(n, a), a),
+            )[:NEGATIVES_PER_STREAM]
+            branch_rows.append(ctx.fragment_features(n, stored[n]))
+            branch_labels.append(1.0)
+            for a in competitors:
+                branch_rows.append(ctx.fragment_features(n, a))
+                branch_labels.append(0.0)
+
+        # -- quality examples: optimum + naive baselines ---------------
+        try:
+            _schedule, serial = scheduler.serialized_gpu_schedule(
+                workload, ctx.formulation
+            )
+        except (Infeasible, KeyError, ValueError):
+            serial = None
+        if serial is not None and abs(serial.objective) > 0:
+            candidates: list[dict[str, Any]] = [
+                {f"dnn{n}": stored[n] for n in range(ctx.n_streams)}
+            ]
+            candidates.extend(
+                assignment
+                for _label, assignment in (
+                    scheduler.contention_oblivious_seeds(
+                        workload, ctx.formulation, ctx.problem
+                    )
+                )
+            )
+            for assignment in candidates:
+                try:
+                    objective = ctx.problem.evaluate(assignment)
+                except (Infeasible, ValueError, KeyError):
+                    continue
+                quality_rows.append(
+                    ctx.quality_features(
+                        [
+                            tuple(assignment[f"dnn{n}"])
+                            for n in range(ctx.n_streams)
+                        ]
+                    )
+                )
+                quality_labels.append(objective / abs(serial.objective))
+        scenarios += 1
+
+    def stack(rows: list[FloatArray], width: int) -> FloatArray:
+        if not rows:
+            return np.zeros((0, width), dtype=np.float64)
+        return np.stack(rows)
+
+    from repro.learn.features import FEATURE_NAMES, QUALITY_FEATURE_NAMES
+
+    return TrainingSet(
+        branch_x=stack(branch_rows, len(FEATURE_NAMES)),
+        branch_y=np.asarray(branch_labels, dtype=np.float64),
+        quality_x=stack(quality_rows, len(QUALITY_FEATURE_NAMES)),
+        quality_y=np.asarray(quality_labels, dtype=np.float64),
+        scenarios=scenarios,
+        skipped=skipped,
+    )
+
+
+def train_bundle(
+    store: "SolveStore", *, max_scenarios: int | None = None, seed: int = 0
+) -> tuple[ModelBundle, dict[str, Any]]:
+    """Train both predictors on the store's corpus.
+
+    ``seed`` is recorded in the bundle metadata for provenance; both
+    trainers are deterministic regardless (fixed iteration counts,
+    deterministic tie-breaks), so the same corpus and seed always
+    produce a byte-identical serialized bundle.
+
+    Raises :class:`ValueError` when the corpus is too small to train.
+    """
+    ts = build_training_set(store, max_scenarios=max_scenarios)
+    if (
+        len(ts.branch_y) < MIN_BRANCH_EXAMPLES
+        or ts.positives < MIN_POSITIVES
+    ):
+        raise ValueError(
+            f"corpus too small: {len(ts.branch_y)} branch examples "
+            f"({ts.positives} positives) from {ts.scenarios} scenarios"
+        )
+    schema = feature_schema_id()
+    branch = LogisticModel.train(ts.branch_x, ts.branch_y, schema=schema)
+    if len(ts.quality_y) >= 2:
+        quality = TreeModel.train(
+            ts.quality_x, ts.quality_y, schema=schema, min_leaf=2
+        )
+    else:  # degenerate corpus: a constant estimator is still valid
+        quality = TreeModel(root={"leaf": 1.0}, schema=schema)
+    stats: dict[str, Any] = {
+        "schema": schema,
+        "seed": int(seed),
+        "scenarios": ts.scenarios,
+        "skipped": ts.skipped,
+        "branch_examples": int(len(ts.branch_y)),
+        "branch_positives": ts.positives,
+        "quality_examples": int(len(ts.quality_y)),
+    }
+    bundle = ModelBundle(
+        schema=schema, branch=branch, quality=quality, meta=dict(stats)
+    )
+    return bundle, stats
+
+
+def train_into_store(
+    store: "SolveStore",
+    *,
+    min_schedules: int = 4,
+    max_scenarios: int | None = None,
+    seed: int = 0,
+) -> dict[str, Any] | None:
+    """Train on the store and persist the bundle as a ``model`` record.
+
+    The self-improvement hook the fleet and CLI call after a run: a
+    no-op (returns ``None``) when the store is read-only or holds too
+    few schedules to train on.  Returns the training stats otherwise.
+    """
+    if store.readonly or len(store.schedules()) < min_schedules:
+        return None
+    try:
+        bundle, stats = train_bundle(
+            store, max_scenarios=max_scenarios, seed=seed
+        )
+    except ValueError:
+        return None
+    stats["appended"] = store.append_model(bundle.sig, bundle.to_dict())
+    return stats
+
+
+def corpus_stats(store: "SolveStore") -> dict[str, Any]:
+    """What ``haxconn learn stats`` prints: corpus and model state."""
+    from repro.learn.models import model_sig
+
+    schema = feature_schema_id()
+    body = store.model_for(model_sig(schema))
+    parseable = 0
+    serialized = 0
+    for sig, payload in sorted(store.schedules().items()):
+        if payload["serialized"]:
+            serialized += 1
+        elif parse_signature(sig) is not None:
+            parseable += 1
+    out: dict[str, Any] = {
+        "schema": schema,
+        "schedules": len(store.schedules()),
+        "parseable": parseable,
+        "serialized": serialized,
+        "model": body is not None,
+    }
+    if body is not None:
+        out["model_meta"] = dict(body.get("meta", {}))
+    return out

@@ -1,0 +1,320 @@
+"""Deterministic, versioned feature extraction for learned guidance.
+
+One *fragment* is a ``(stream, assignment)`` pair -- a candidate
+per-stream segmentation exactly as it appears in a solver domain, a
+schedule-cache warm-start bucket, or a stored schedule record.  Each
+fragment maps to a fixed-order ``float64`` vector derived from the
+layer-group tensors (isolated chain time, per-DSA busy time, per-group
+memory-bandwidth demand), the PCCS contention surface, the platform
+descriptor, and the workload shape.
+
+Determinism is load-bearing: the same scenario must produce the same
+vector bit for bit on every machine and in every process, because
+models trained in one run score fragments in another.  Every feature
+is a pure function of the formulation's cost tables (themselves pure),
+iteration is always in stream/domain/accelerator declaration order,
+and no feature reads a clock, an environment variable, or an unordered
+container.
+
+Models and extractors are kept from drifting apart by a *schema id*:
+the SHA-256 of ``[FEATURE_SCHEMA_VERSION, FEATURE_NAMES,
+QUALITY_FEATURE_NAMES]``.  A model record stores the id it was trained
+under and is ignored by any extractor with a different id, so adding
+or reordering features can never silently misalign weights.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+if TYPE_CHECKING:  # layering: core never imports learn at runtime
+    from repro.core.formulation import Formulation
+    from repro.core.haxconn import HaXCoNN
+    from repro.core.workload import Workload
+    from repro.solver.problem import Problem
+
+FloatArray = NDArray[np.float64]
+
+#: bump when adding, removing, or reordering features
+FEATURE_SCHEMA_VERSION = 1
+
+#: fixed accelerator-slot count: platforms with fewer DSAs leave the
+#: tail slots at zero, so one model serves every modeled SoC
+BUSY_SLOTS = 4
+
+#: fragment feature order -- append-only within a schema version
+FEATURE_NAMES: tuple[str, ...] = (
+    "chain_rel",  # isolated chain time / stream's fastest assignment
+    "chain_share",  # stream's fastest chain / sum over streams
+    "transition_frac",  # transitions used / transition budget
+    "gpu_group_frac",  # fraction of layer groups mapped to the GPU
+    "busy_share_0",  # busy-time share per accelerator slot, in
+    "busy_share_1",  # platform declaration order, zero-padded to
+    "busy_share_2",  # BUSY_SLOTS entries
+    "busy_share_3",
+    "bw_mean_frac",  # mean per-group bandwidth demand / DRAM bandwidth
+    "bw_peak_frac",  # peak per-group bandwidth demand / DRAM bandwidth
+    "contention_exposure",  # PCCS slowdown - 1 vs the other streams
+    "streams_frac",  # concurrent streams / 4
+    "domain_log",  # log10(stream domain size) / 4
+    "objective_latency",
+    "objective_throughput",
+    "objective_energy",
+    "groups_frac",  # layer groups in the stream / 12
+    "accels_frac",  # platform accelerator count / BUSY_SLOTS
+    "dram_bw_log",  # log10(DRAM bytes/s) / 12
+    "emc_frac",  # effective 2-client EMC capacity / DRAM bandwidth
+    "repeats_frac",  # frames per round / 4, capped at 1
+    "pipelined",  # stream participates in a pipeline edge
+    "distinct_accels",  # distinct DSAs in the assignment / accel count
+    "starts_on_gpu",
+    "ends_on_gpu",
+)
+
+#: workload-level quality features: per-dimension mean and max over
+#: the streams of a complete assignment
+QUALITY_FEATURE_NAMES: tuple[str, ...] = tuple(
+    f"{agg}_{name}" for agg in ("mean", "max") for name in FEATURE_NAMES
+)
+
+
+def feature_schema_id() -> str:
+    """Content hash binding models to this exact feature layout."""
+    blob = json.dumps(
+        [
+            FEATURE_SCHEMA_VERSION,
+            list(FEATURE_NAMES),
+            list(QUALITY_FEATURE_NAMES),
+        ],
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+class FeatureContext:
+    """Cost tables for one ``(scheduler, workload)`` pair.
+
+    Building the context prices every stream's fastest assignment once;
+    per-fragment feature calls are then cheap table lookups plus one
+    contention-model query.  The context never mutates the scheduler or
+    formulation it reads from.
+    """
+
+    def __init__(
+        self,
+        scheduler: "HaXCoNN",
+        workload: "Workload",
+        *,
+        formulation: "Formulation | None" = None,
+        problem: "Problem | None" = None,
+    ) -> None:
+        if formulation is None:
+            formulation, _profiles = scheduler.build_formulation(workload)
+        if problem is None:
+            problem = scheduler.build_problem(workload, formulation)
+        self.workload = workload
+        self.formulation = formulation
+        self.problem = problem
+        platform = scheduler.platform
+        self.accel_names: tuple[str, ...] = platform.accelerator_names
+        self.gpu: str = platform.gpu.name
+        self.dram_bw = float(platform.dram_bandwidth)
+        self.emc_frac = float(platform.emc_capacity(2)) / self.dram_bw
+        self.max_transitions = int(scheduler.max_transitions)
+        self._contention = scheduler.contention_model
+        self.n_streams = len(workload)
+        self.domain_sizes: tuple[int, ...] = tuple(
+            len(v.domain) for v in problem.variables
+        )
+        self.repeats: tuple[int, ...] = tuple(
+            int(r) for r in formulation.repeats
+        )
+        self._pipelined = frozenset(
+            n for edge in workload.pipeline for n in edge
+        )
+        self._chain: dict[tuple[int, tuple[str, ...]], float] = {}
+        self._busy: dict[tuple[int, tuple[str, ...]], dict[str, float]] = {}
+        self.min_chain: tuple[float, ...] = tuple(
+            min(self.chain_time(n, a) for a in v.domain)
+            for n, v in enumerate(problem.variables)
+        )
+        self.sum_min_chain = float(sum(self.min_chain))
+        obj = workload.objective
+        self._objective_onehot = (
+            1.0 if obj == "latency" else 0.0,
+            1.0 if obj == "throughput" else 0.0,
+            1.0 if obj == "energy" else 0.0,
+        )
+        #: external load each stream presents to the others: mean
+        #: bandwidth demand under its fastest isolated assignment
+        baseline: list[float] = []
+        for n, v in enumerate(problem.variables):
+            fastest = min(
+                v.domain, key=lambda a: (self.chain_time(n, a), a)
+            )
+            baseline.append(self._mean_peak_bw(n, fastest)[0])
+        self._baseline_bw: tuple[float, ...] = tuple(baseline)
+
+    # -- cost-table access ---------------------------------------------
+    def chain_time(self, n: int, assignment: tuple[str, ...]) -> float:
+        key = (n, assignment)
+        if key not in self._chain:
+            self._chain[key] = float(
+                self.formulation.chain_time(n, assignment)
+            )
+        return self._chain[key]
+
+    def busy_times(
+        self, n: int, assignment: tuple[str, ...]
+    ) -> dict[str, float]:
+        key = (n, assignment)
+        if key not in self._busy:
+            self._busy[key] = dict(
+                self.formulation.busy_times(n, assignment)
+            )
+        return self._busy[key]
+
+    def _mean_peak_bw(
+        self, n: int, assignment: tuple[str, ...]
+    ) -> tuple[float, float]:
+        """Mean and peak per-group bandwidth demand, in bytes/s."""
+        profile = self.formulation.profiles[n]
+        demands = [
+            float(profile[g].req_bw.get(assignment[g], 0.0))
+            for g in range(len(profile))
+        ]
+        if not demands:
+            return 0.0, 0.0
+        return float(sum(demands)) / len(demands), float(max(demands))
+
+    # -- feature vectors -----------------------------------------------
+    def fragment_features(
+        self, n: int, assignment: tuple[str, ...]
+    ) -> FloatArray:
+        """The fixed-order feature vector of one fragment.
+
+        Raises :class:`KeyError`/:class:`ValueError`/:class:`IndexError`
+        for fragments the formulation cannot price (wrong length, or an
+        accelerator a layer group does not support); use
+        :meth:`try_fragment_features` where stale fragments are
+        expected.
+        """
+        profile = self.formulation.profiles[n]
+        if len(assignment) != len(profile):
+            raise ValueError(
+                f"fragment length {len(assignment)} != "
+                f"{len(profile)} groups of stream {n}"
+            )
+        chain = self.chain_time(n, assignment)
+        busy = self.busy_times(n, assignment)
+        safe_chain = chain if chain > 0 else 1.0
+        transitions = sum(
+            1 for i in range(len(assignment) - 1)
+            if assignment[i] != assignment[i + 1]
+        )
+        mean_bw, peak_bw = self._mean_peak_bw(n, assignment)
+        externals = [
+            self._baseline_bw[m]
+            for m in range(self.n_streams)
+            if m != n and self._baseline_bw[m] > 0
+        ]
+        exposure = 0.0
+        if mean_bw > 0 and externals:
+            exposure = min(
+                10.0,
+                max(
+                    0.0,
+                    float(self._contention.slowdown(mean_bw, externals))
+                    - 1.0,
+                ),
+            )
+        busy_shares = [0.0] * BUSY_SLOTS
+        for slot, accel in enumerate(self.accel_names[:BUSY_SLOTS]):
+            busy_shares[slot] = float(busy.get(accel, 0.0)) / safe_chain
+        values = (
+            chain / self.min_chain[n] if self.min_chain[n] > 0 else 1.0,
+            (
+                self.min_chain[n] / self.sum_min_chain
+                if self.sum_min_chain > 0
+                else 0.0
+            ),
+            transitions / max(1, self.max_transitions),
+            sum(1 for a in assignment if a == self.gpu) / len(assignment),
+            busy_shares[0],
+            busy_shares[1],
+            busy_shares[2],
+            busy_shares[3],
+            mean_bw / self.dram_bw,
+            peak_bw / self.dram_bw,
+            exposure,
+            self.n_streams / 4.0,
+            math.log10(max(1, self.domain_sizes[n])) / 4.0,
+            self._objective_onehot[0],
+            self._objective_onehot[1],
+            self._objective_onehot[2],
+            len(profile) / 12.0,
+            len(self.accel_names) / float(BUSY_SLOTS),
+            math.log10(self.dram_bw) / 12.0,
+            self.emc_frac,
+            min(1.0, self.repeats[n] / 4.0),
+            1.0 if n in self._pipelined else 0.0,
+            len(set(assignment)) / len(self.accel_names),
+            1.0 if assignment[0] == self.gpu else 0.0,
+            1.0 if assignment[-1] == self.gpu else 0.0,
+        )
+        return np.asarray(values, dtype=np.float64)
+
+    def try_fragment_features(
+        self, n: int, assignment: tuple[str, ...]
+    ) -> FloatArray | None:
+        """Like :meth:`fragment_features`, ``None`` for stale fragments.
+
+        Stale means unpriceable: wrong length, or an accelerator the
+        formulation prices at infinity (unsupported on this platform
+        or by some layer group) -- a model must never see non-finite
+        inputs.
+        """
+        try:
+            vector = self.fragment_features(n, assignment)
+        except (KeyError, ValueError, IndexError, TypeError):
+            return None
+        if not np.all(np.isfinite(vector)):
+            return None
+        return vector
+
+    def fragment_matrix(
+        self, n: int, assignments: Sequence[tuple[str, ...]]
+    ) -> FloatArray:
+        """Feature rows for a stream's candidate set, in given order."""
+        if not assignments:
+            return np.zeros((0, len(FEATURE_NAMES)), dtype=np.float64)
+        return np.stack(
+            [self.fragment_features(n, a) for a in assignments]
+        )
+
+    def quality_features(
+        self, assignments: Sequence[tuple[str, ...]]
+    ) -> FloatArray:
+        """Workload-level features of one complete assignment.
+
+        Per-dimension mean and max over the streams' fragment vectors,
+        in :data:`QUALITY_FEATURE_NAMES` order.
+        """
+        if len(assignments) != self.n_streams:
+            raise ValueError(
+                f"expected {self.n_streams} per-stream assignments, "
+                f"got {len(assignments)}"
+            )
+        rows = np.stack(
+            [
+                self.fragment_features(n, tuple(a))
+                for n, a in enumerate(assignments)
+            ]
+        )
+        return np.concatenate([rows.mean(axis=0), rows.max(axis=0)])

@@ -1,0 +1,275 @@
+"""Pure-NumPy models with deterministic training and JSON round-trips.
+
+Two small model families cover the three predictors of
+:mod:`repro.learn.guide`:
+
+- :class:`LogisticModel` -- L2-regularized logistic regression trained
+  by fixed-iteration full-batch gradient descent (zero initialization,
+  fixed learning rate, no stochasticity), scoring the probability that
+  a fragment belongs to the stored-optimal schedule,
+- :class:`TreeModel` -- a depth-bounded CART regression tree with
+  deterministic split selection (lowest SSE, ties broken by lowest
+  feature index then lowest threshold), estimating the relative
+  quality of a complete assignment.
+
+Training is bit-reproducible: the same corpus and seed produce a
+byte-identical serialized model in every process (the property the
+training-determinism tests pin).  Serialization uses ``json`` float
+literals, which round-trip ``float64`` exactly, and every model
+carries the feature-schema id it was trained under so a drifted
+extractor can never feed it misaligned vectors.
+
+A :class:`ModelBundle` packages both models plus training metadata
+into the solve store's ``model`` record body (kind ``model``,
+signature :func:`model_sig`, last-wins per signature -- retraining on
+a grown store supersedes the previous bundle in place).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.learn.features import FloatArray
+
+#: bump together with the record body layout
+MODEL_RECORD_VERSION = 1
+
+
+def model_sig(schema: str) -> str:
+    """Solve-store signature of the model bundle for ``schema``."""
+    return f"learn:v{MODEL_RECORD_VERSION}:{schema}"
+
+
+def _sigmoid(z: FloatArray) -> FloatArray:
+    out: FloatArray = 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+    return out
+
+
+@dataclass
+class LogisticModel:
+    """L2-regularized logistic regression over standardized features."""
+
+    weights: FloatArray
+    bias: float
+    mean: FloatArray
+    scale: FloatArray
+    schema: str
+
+    @classmethod
+    def train(
+        cls,
+        x: FloatArray,
+        y: FloatArray,
+        *,
+        schema: str,
+        iters: int = 250,
+        lr: float = 0.5,
+        l2: float = 1e-3,
+    ) -> "LogisticModel":
+        """Deterministic full-batch gradient descent (zero init)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise ValueError(f"bad training shapes {x.shape} / {y.shape}")
+        mean = x.mean(axis=0)
+        scale = x.std(axis=0)
+        scale = np.where(scale > 0, scale, 1.0)
+        xs = (x - mean) / scale
+        n = float(x.shape[0])
+        w = np.zeros(x.shape[1], dtype=np.float64)
+        b = 0.0
+        for _ in range(iters):
+            p = _sigmoid(xs @ w + b)
+            err = p - y
+            w -= lr * ((xs.T @ err) / n + l2 * w)
+            b -= lr * float(err.mean())
+        return cls(weights=w, bias=b, mean=mean, scale=scale, schema=schema)
+
+    def predict(self, x: FloatArray) -> FloatArray:
+        """P(positive) per row of ``x`` (raw, unstandardized features)."""
+        xs = (np.asarray(x, dtype=np.float64) - self.mean) / self.scale
+        return _sigmoid(xs @ self.weights + self.bias)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "logistic",
+            "schema": self.schema,
+            "weights": [float(v) for v in self.weights],
+            "bias": float(self.bias),
+            "mean": [float(v) for v in self.mean],
+            "scale": [float(v) for v in self.scale],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "LogisticModel":
+        if payload.get("kind") != "logistic":
+            raise ValueError(f"not a logistic model: {payload.get('kind')!r}")
+        return cls(
+            weights=np.asarray(payload["weights"], dtype=np.float64),
+            bias=float(payload["bias"]),
+            mean=np.asarray(payload["mean"], dtype=np.float64),
+            scale=np.asarray(payload["scale"], dtype=np.float64),
+            schema=str(payload["schema"]),
+        )
+
+
+#: cap on candidate thresholds per feature: evenly spaced over the
+#: sorted unique values, so split search cost is bounded and the
+#: chosen thresholds are a pure function of the value distribution
+_MAX_THRESHOLDS = 15
+
+
+def _split_candidates(values: FloatArray) -> list[float]:
+    unique = np.unique(values)
+    if unique.size < 2:
+        return []
+    gaps = unique.size - 1
+    take = min(_MAX_THRESHOLDS, gaps)
+    idx = np.unique(
+        np.round(np.linspace(0, gaps - 1, take)).astype(np.int64)
+    )
+    return [float((unique[i] + unique[i + 1]) / 2.0) for i in idx]
+
+
+def _sse(y: FloatArray) -> float:
+    if y.size == 0:
+        return 0.0
+    return float(((y - y.mean()) ** 2).sum())
+
+
+def _grow(
+    x: FloatArray, y: FloatArray, depth: int, max_depth: int, min_leaf: int
+) -> dict[str, Any]:
+    if depth >= max_depth or y.size < 2 * min_leaf or _sse(y) <= 1e-12:
+        return {"leaf": float(y.mean())}
+    parent = _sse(y)
+    best: tuple[float, int, float] | None = None
+    for j in range(x.shape[1]):
+        for thr in _split_candidates(x[:, j]):
+            left = x[:, j] <= thr
+            n_left = int(left.sum())
+            if n_left < min_leaf or y.size - n_left < min_leaf:
+                continue
+            score = _sse(y[left]) + _sse(y[~left])
+            # strict < keeps the first (lowest feature index, lowest
+            # threshold) of any exact tie -- the deterministic tie-break
+            if best is None or score < best[0]:
+                best = (score, j, thr)
+    if best is None or best[0] >= parent - 1e-12:
+        return {"leaf": float(y.mean())}
+    _score, j, thr = best
+    left = x[:, j] <= thr
+    return {
+        "f": j,
+        "t": thr,
+        "lo": _grow(x[left], y[left], depth + 1, max_depth, min_leaf),
+        "hi": _grow(x[~left], y[~left], depth + 1, max_depth, min_leaf),
+    }
+
+
+@dataclass
+class TreeModel:
+    """Depth-bounded CART regression with deterministic splits."""
+
+    root: dict[str, Any]
+    schema: str
+    max_depth: int = 4
+    min_leaf: int = 8
+
+    @classmethod
+    def train(
+        cls,
+        x: FloatArray,
+        y: FloatArray,
+        *,
+        schema: str,
+        max_depth: int = 4,
+        min_leaf: int = 8,
+    ) -> "TreeModel":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != y.shape[0] or x.shape[0] == 0:
+            raise ValueError(f"bad training shapes {x.shape} / {y.shape}")
+        root = _grow(x, y, 0, max_depth, min_leaf)
+        return cls(
+            root=root, schema=schema, max_depth=max_depth, min_leaf=min_leaf
+        )
+
+    def predict_one(self, x: FloatArray) -> float:
+        node = self.root
+        while "leaf" not in node:
+            j, thr = int(node["f"]), float(node["t"])
+            node = node["lo"] if float(x[j]) <= thr else node["hi"]
+        return float(node["leaf"])
+
+    def predict(self, x: FloatArray) -> FloatArray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.asarray(
+            [self.predict_one(row) for row in x], dtype=np.float64
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": "tree",
+            "schema": self.schema,
+            "max_depth": self.max_depth,
+            "min_leaf": self.min_leaf,
+            "root": self.root,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TreeModel":
+        if payload.get("kind") != "tree":
+            raise ValueError(f"not a tree model: {payload.get('kind')!r}")
+        return cls(
+            root=dict(payload["root"]),
+            schema=str(payload["schema"]),
+            max_depth=int(payload["max_depth"]),
+            min_leaf=int(payload["min_leaf"]),
+        )
+
+
+@dataclass
+class ModelBundle:
+    """The solve store's ``model`` record body: both predictors plus
+    training provenance (corpus size, example counts, schema id)."""
+
+    schema: str
+    branch: LogisticModel
+    quality: TreeModel
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "v": MODEL_RECORD_VERSION,
+            "schema": self.schema,
+            "branch": self.branch.to_dict(),
+            "quality": self.quality.to_dict(),
+            "meta": dict(self.meta),
+        }
+
+    def to_json(self) -> str:
+        """Canonical compact serialization (byte-stable round-trip)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ModelBundle":
+        if int(payload.get("v", 0)) != MODEL_RECORD_VERSION:
+            raise ValueError(
+                f"unsupported model record version {payload.get('v')!r}"
+            )
+        return cls(
+            schema=str(payload["schema"]),
+            branch=LogisticModel.from_dict(payload["branch"]),
+            quality=TreeModel.from_dict(payload["quality"]),
+            meta=dict(payload.get("meta", {})),
+        )
+
+    @property
+    def sig(self) -> str:
+        return model_sig(self.schema)

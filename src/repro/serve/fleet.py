@@ -721,6 +721,7 @@ class Fleet:
         batching: str = "tenant",
         store: SolveStore | None = None,
         transport: str = "auto",
+        learn_train: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -772,6 +773,12 @@ class Fleet:
         self.batching = batching
         self.store = store
         self.transport = transport
+        #: retrain the store's guidance model after the run (parent
+        #: side, writable stores only); see :mod:`repro.learn.corpus`
+        self.learn_train = learn_train
+        #: training stats of the last run's post-run retrain (None
+        #: when disabled, skipped, or the corpus was too small)
+        self.learn_stats: dict[str, Any] | None = None
 
     # ------------------------------------------------------------------
     def _resolve_backend(self) -> str:
@@ -864,6 +871,19 @@ class Fleet:
         for sid, bucket in enumerate(assignment):
             if not bucket:
                 outcomes[sid] = _empty_outcome(sid)
+        self.learn_stats = None
+        if (
+            self.learn_train
+            and self.store is not None
+            and not self.store.readonly
+        ):
+            # self-improvement hook: the schedules this run just
+            # persisted become training data for the next run's
+            # guidance.  Parent-side only -- the single-writer rule
+            # holds -- and a too-small corpus is a silent no-op.
+            from repro.learn.corpus import train_into_store
+
+            self.learn_stats = train_into_store(self.store)
         return ShardedFleetReport(
             [outcomes[sid] for sid in sorted(outcomes)],
             backend=backend,

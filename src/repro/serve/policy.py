@@ -400,6 +400,9 @@ class CachedAnytimePolicy(ServingPolicy):
         #: harvested (sig, entries) batches not yet gossiped
         self._pending_memo: list[tuple[str, tuple[Any, ...]]] = []
         self.store = store
+        #: True when a store-trained guide is steering this policy's
+        #: solver (learned strategy + warm-start ranking)
+        self.learned_guidance = False
         if store is not None:
             self.cache.attach_store(store)
             for sig in store.signatures():
@@ -408,6 +411,24 @@ class CachedAnytimePolicy(ServingPolicy):
                     self._memo_fragments[sig] = list(
                         entries[:_MEMO_FRAGMENT_CAP]
                     )
+            # adopt the store's trained guidance, if any: the learned
+            # portfolio strategy and warm-start ranking only reorder
+            # search, so serving results are unchanged -- only earlier
+            # (see repro.learn)
+            if scheduler.guide is None:
+                # deferred: serve -> learn only when a store is wired
+                from repro.learn.guide import SearchGuide
+
+                guide = SearchGuide.from_store(store)
+                if guide is not None:
+                    scheduler.guide = guide
+                    self.cache.ranker = guide.fragment_ranker(scheduler)
+                    self.learned_guidance = True
+            else:
+                self.cache.ranker = scheduler.guide.fragment_ranker(
+                    scheduler
+                )
+                self.learned_guidance = True
 
     # ------------------------------------------------------------------
     def _best_naive(
@@ -661,6 +682,14 @@ class CachedAnytimePolicy(ServingPolicy):
             "cache_misses": self.cache.misses,
             "store_hits": self.cache.store_hits,
             "verify_failures": self.verify_failures,
+            # only reported when active: report texts are pinned by
+            # byte-identity tests, and an inert False on every
+            # unguided run would change them for nothing
+            **(
+                {"learned_guidance": True}
+                if self.learned_guidance
+                else {}
+            ),
         }
 
     def eval_stats(self) -> dict[str, float]:

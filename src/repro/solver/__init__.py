@@ -27,6 +27,7 @@ from repro.solver.portfolio import (
     Strategy,
     WorkerStats,
     default_strategies,
+    guided_strategies,
 )
 
 __all__ = [
@@ -43,4 +44,5 @@ __all__ = [
     "Strategy",
     "WorkerStats",
     "default_strategies",
+    "guided_strategies",
 ]

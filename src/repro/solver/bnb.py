@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
 from repro.solver.clock import monotonic_s
-from repro.solver.problem import Assignment, Infeasible, Problem
+from repro.solver.problem import Assignment, Infeasible, Problem, Variable
 
 
 class StopSearch(Exception):
@@ -83,10 +83,16 @@ class BranchAndBound:
     on_incumbent:
         Called with each :class:`Incumbent` as soon as it is found.
     child_order:
-        Value-ordering hook: receives the feasible ``(bound, value)``
-        children of a node (in domain order) and returns them in
-        exploration order.  ``None`` keeps the default ascending-bound
-        order.  Portfolio strategies use this to diversify dives.
+        Value-ordering hook: receives the branching
+        :class:`~repro.solver.problem.Variable` and the feasible
+        ``(bound, value)`` children of a node (in domain order) and
+        returns the children in exploration order.  ``None`` keeps the
+        default ascending-bound order.  Portfolio strategies use this
+        to diversify dives; the learned strategy orders children by
+        store-trained branch scores.  Reordering only: the hook cannot
+        add or drop children, so bounds, pruning, and incumbent
+        admission -- and therefore the certified optimum -- are
+        unaffected.
     sync_every / on_sync:
         Cooperation hook for the solver portfolio: every
         ``sync_every`` explored nodes, ``on_sync(nodes, best)`` runs
@@ -106,7 +112,8 @@ class BranchAndBound:
         node_budget: int | None = None,
         on_incumbent: Callable[[Incumbent], None] | None = None,
         child_order: Callable[
-            [list[tuple[float, Any]]], Sequence[tuple[float, Any]]
+            [Variable, list[tuple[float, Any]]],
+            Sequence[tuple[float, Any]],
         ]
         | None = None,
         sync_every: int | None = None,
@@ -272,7 +279,7 @@ class _SearchState:
         partial.pop(variable.name, None)
 
         if self.cfg.child_order is not None:
-            ordered = self.cfg.child_order(children)
+            ordered = self.cfg.child_order(variable, children)
         else:
             ordered = sorted(children, key=lambda c: c[0])
         if (

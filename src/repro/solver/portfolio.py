@@ -90,7 +90,8 @@ class Strategy:
     order: tuple[int, ...] | None = None
     #: value-ordering heuristic: ``bound`` (ascending child bound),
     #: ``domain`` (declaration order), ``shuffle`` (bound order with
-    #: seeded random tie-breaks)
+    #: seeded random tie-breaks), ``learned`` (descending store-trained
+    #: branch score, falling back to bound order without a guide)
     values: str = "bound"
     #: rng seed for randomized value orders
     seed: int = 0
@@ -134,22 +135,70 @@ def default_strategies(
     return tuple(out)
 
 
+def guided_strategies(
+    problem: Problem, workers: int, *, seed: int = 0
+) -> tuple[Strategy, ...]:
+    """The diversification ladder with a learned strategy in front.
+
+    Worker 0 runs ``learned`` value ordering on the full problem (an
+    exact worker, so it may certify); the remaining ``workers - 1``
+    slots keep the standard ladder.  Racing -- rather than replacing
+    -- the default strategies is what makes a bad model harmless: it
+    can fail to win the race, but the unguided workers still converge
+    exactly as before.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    learned = Strategy("learned", values="learned")
+    if workers == 1:
+        return (learned,)
+    return (learned,) + default_strategies(
+        problem, workers - 1, seed=seed
+    )
+
+
+#: branch-ordering guide shape: ``guide[variable.name][value]`` is the
+#: learned score of branching ``variable = value`` (higher explores
+#: first).  Plain dicts so fork workers inherit it without pickling.
+BranchGuide = Mapping[str, Mapping[Any, float]]
+
+
 def _child_order(
     strategy: Strategy,
-) -> Callable[[Sequence[Any]], list[Any]] | None:
-    """Value-ordering callable for :class:`BranchAndBound`."""
+    guide: BranchGuide | None = None,
+) -> Callable[[Any, Sequence[Any]], list[Any]] | None:
+    """Value-ordering callable for :class:`BranchAndBound`.
+
+    Every mode is a *reordering* of the feasible children -- the
+    learned mode included -- so the choice of strategy can change how
+    fast the optimum is reached, never which optimum is certified.
+    """
     if strategy.values == "domain":
-        return lambda children: list(children)
+        return lambda variable, children: list(children)
     if strategy.values == "shuffle":
         rng = random.Random(strategy.seed)
 
-        def order(children: Sequence[Any]) -> list[Any]:
+        def order(variable: Any, children: Sequence[Any]) -> list[Any]:
             shuffled = list(children)
             rng.shuffle(shuffled)
             shuffled.sort(key=lambda c: c[0])  # stable: shuffled ties
             return shuffled
 
         return order
+    if strategy.values == "learned":
+        tables = guide if guide is not None else {}
+
+        def learned(variable: Any, children: Sequence[Any]) -> list[Any]:
+            table = tables.get(variable.name)
+            if not table:
+                # unguided variable: the default ascending-bound dive
+                return sorted(children, key=lambda c: c[0])
+            # descending predicted score, ascending bound as tie-break
+            return sorted(
+                children, key=lambda c: (-table.get(c[1], 0.0), c[0])
+            )
+
+        return learned
     return None
 
 
@@ -183,8 +232,14 @@ def _run_worker(
     wid: int,
     shared_state: SharedEvalState | None = None,
     channel: tuple[Any, Any] | None = None,
+    guide: BranchGuide | None = None,
 ) -> None:
     """Worker loop: search, report at sync points, obey stop/bound.
+
+    ``guide`` is the plain-dict branch-score table consumed by the
+    ``learned`` value ordering; under the fork backend it is inherited
+    by the child (never pickled), and workers whose strategy does not
+    use it ignore it entirely.
 
     ``shared_state`` piggybacks evaluation-memo deltas on the epoch
     sync: the worker drains its locally-new entries into each report
@@ -230,7 +285,7 @@ def _run_worker(
     solver = BranchAndBound(
         node_budget=node_budget,
         on_incumbent=on_incumbent,
-        child_order=_child_order(strategy),
+        child_order=_child_order(strategy, guide),
         sync_every=sync_every,
         on_sync=on_sync,
     )
@@ -334,6 +389,14 @@ class PortfolioSolver:
         references; requesting ``shm`` with those backends is an
         error.  Purely a speed channel either way: payload *content*
         and merge order are identical across transports.
+    guide:
+        Optional branch-score tables (``guide[variable][value]``,
+        higher explores first) consumed by the ``learned`` value
+        ordering -- see :mod:`repro.learn.guide`.  When set and no
+        explicit ``strategies`` are given, the portfolio races
+        :func:`guided_strategies` (learned worker plus the standard
+        ladder); ``None`` keeps the pre-guidance portfolio exactly:
+        same strategies, same ordering callables, same results.
     """
 
     def __init__(
@@ -352,6 +415,7 @@ class PortfolioSolver:
         strategies: Sequence[Strategy] | None = None,
         shared_state: SharedEvalState | None = None,
         transport: str = "auto",
+        guide: BranchGuide | None = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError("workers must be >= 1")
@@ -386,6 +450,7 @@ class PortfolioSolver:
         self.greedy_sweeps = greedy_sweeps
         self.strategies = tuple(strategies) if strategies is not None else None
         self.shared_state = shared_state
+        self.guide = guide
 
     # ------------------------------------------------------------------
     def _resolve_backend(self, workers: int) -> str:
@@ -519,11 +584,12 @@ class PortfolioSolver:
         workers = self.workers
         if workers is None:
             workers = max(1, min(4, os.cpu_count() or 1))
-        strategies = (
-            self.strategies
-            if self.strategies is not None
-            else default_strategies(problem, workers, seed=self.seed)
-        )
+        if self.strategies is not None:
+            strategies = self.strategies
+        elif self.guide is not None:
+            strategies = guided_strategies(problem, workers, seed=self.seed)
+        else:
+            strategies = default_strategies(problem, workers, seed=self.seed)
         workers = len(strategies)
         if reduced is None:
             strategies = tuple(
@@ -589,6 +655,7 @@ class PortfolioSolver:
                         w,
                         self.shared_state,
                         channels[w] if channels is not None else None,
+                        self.guide,
                     ),
                     daemon=True,
                 )
@@ -611,6 +678,8 @@ class PortfolioSolver:
                         outboxes[w],
                         w,
                         self.shared_state,
+                        None,
+                        self.guide,
                     ),
                     daemon=True,
                 )
@@ -772,7 +841,7 @@ class PortfolioSolver:
             time_budget_s=remaining,
             node_budget=self.node_budget,
             on_incumbent=on_incumbent,
-            child_order=_child_order(strategy),
+            child_order=_child_order(strategy, self.guide),
         )
         result = solver.solve(
             _permuted(problem, strategy.order), initial=seed_assignment

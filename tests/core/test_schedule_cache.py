@@ -300,3 +300,95 @@ class TestWarmStarts:
         # so the seed must evaluate (not be dropped as invalid)
         assert warm["cache-0"] is not None
         assert result.solver.optimal
+
+
+class TestWarmStartOrdering:
+    """Candidate ordering is keyed (-predicted quality, fragment sha),
+    never an artifact of adoption order or store layout."""
+
+    FEEDERS = (
+        ("googlenet", "resnet101"),
+        ("resnet50", "resnet101"),
+        ("googlenet", "resnet50"),
+    )
+
+    def _filled(self, scheduler):
+        cache = ScheduleCache(scheduler)
+        for mix in self.FEEDERS:
+            cache.get(Workload.concurrent(*mix))
+        return cache
+
+    def test_order_independent_of_adoption_order(self, scheduler):
+        donor = self._filled(scheduler)
+        delta = donor.export_delta()
+        novel = Workload.concurrent("googlenet", "resnet50")
+        forward = ScheduleCache(scheduler)
+        forward.adopt_stored(delta)
+        backward = ScheduleCache(scheduler)
+        backward.adopt_stored(tuple(reversed(delta)))
+        assert forward.warm_starts(novel) == backward.warm_starts(novel)
+
+    def test_ranker_promotes_high_scores(self, scheduler):
+        cache = self._filled(scheduler)
+        novel = Workload.concurrent("googlenet", "resnet50")
+        baseline = cache.warm_starts(novel)
+        assert baseline
+
+        def gpu_share(workload, key, assignment):
+            return assignment.count("gpu") / len(assignment)
+
+        cache.ranker = gpu_share
+        ranked = cache.warm_starts(novel)
+        # every stream's rank-0 fragment maximizes the ranker's score
+        # among that stream's candidates (sha breaks exact ties)
+        candidates = {}
+        for label, per_stream in baseline + ranked:
+            for key, frag in zip(("googlenet", "resnet50"), per_stream):
+                candidates.setdefault(key, set()).add(frag)
+        for key, frag in zip(("googlenet", "resnet50"), ranked[0][1]):
+            best = max(
+                gpu_share(novel, key, c) for c in candidates[key]
+            )
+            assert gpu_share(novel, key, frag) == best
+
+    def test_broken_ranker_falls_back_to_sha_order(self, scheduler):
+        cache = self._filled(scheduler)
+        novel = Workload.concurrent("googlenet", "resnet50")
+        baseline = cache.warm_starts(novel)
+
+        def broken(workload, key, assignment):
+            raise RuntimeError("model exploded")
+
+        cache.ranker = broken
+        assert cache.warm_starts(novel) == baseline
+
+    def test_adopt_stored_provenance_stable_across_compaction(
+        self, scheduler, tmp_path
+    ):
+        """Pinned: compacting the store must not change the seeds a
+        fresh replica composes, nor the store-hit provenance."""
+        import json
+
+        from repro.core.solve_store import SolveStore
+
+        store = SolveStore(tmp_path / "solves.jsonl")
+        donor = self._filled(scheduler)
+        donor.attach_store(store)
+        for mix in self.FEEDERS:
+            workload = Workload.concurrent(*mix)
+            donor.put(workload, donor.get(workload).schedule)
+        novel = Workload.concurrent("googlenet", "resnet50")
+
+        before_cache = ScheduleCache(scheduler)
+        adopted_before = before_cache.attach_store(store)
+        before = json.dumps(before_cache.warm_starts(novel))
+
+        result = store.compact()
+        assert result["dropped"] >= 0  # compaction ran
+
+        after_cache = ScheduleCache(scheduler)
+        assert after_cache.attach_store(store) == adopted_before
+        assert json.dumps(after_cache.warm_starts(novel)) == before
+        # provenance survives: a hit on adopted entries is a store hit
+        after_cache.get(novel)
+        assert after_cache.store_hits == 1

@@ -186,3 +186,120 @@ class TestReadonly:
             store.append_schedule("sig-b", SCHED_B)
         with pytest.raises(ValueError, match="read-only"):
             store.append_memo("sig-b", [(MEMO_KEY, MEMO_OK)])
+        with pytest.raises(ValueError, match="read-only"):
+            store.append_model("learn:v1:abc", {"w": [1.0]})
+
+
+MODEL_A = {"v": 1, "w": [0.25, -1.5]}
+MODEL_B = {"v": 1, "w": [0.5, 2.0]}
+
+
+class TestModelRecords:
+    def test_round_trip_through_reload(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        assert store.append_model("learn:v1:abc", MODEL_A)
+        reloaded = SolveStore(store.path)
+        assert reloaded.models() == {"learn:v1:abc": MODEL_A}
+        assert reloaded.model_for("learn:v1:abc") == MODEL_A
+        assert reloaded.model_for("learn:v1:zzz") is None
+
+    def test_last_model_wins(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_model("learn:v1:abc", MODEL_A)
+        store.append_model("learn:v1:abc", MODEL_B)
+        assert store.model_for("learn:v1:abc") == MODEL_B
+        assert SolveStore(store.path).model_for("learn:v1:abc") == MODEL_B
+
+    def test_models_excluded_from_gossip_signatures(self, tmp_path):
+        # the fleet delta protocol exchanges schedule/memo signatures;
+        # model records ride in the same file but must stay out of it
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-a", SCHED_A)
+        store.append_model("learn:v1:abc", MODEL_A)
+        assert store.signatures() == ("sig-a",)
+        assert store.model_sigs() == ("learn:v1:abc",)
+
+
+class TestCompaction:
+    def _populated(self, tmp_path):
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_schedule("sig-a", SCHED_A)
+        store.append_schedule("sig-a", SCHED_B)  # supersedes
+        store.append_schedule("sig-b", SCHED_A)
+        store.append_memo("sig-a", [(MEMO_KEY, MEMO_OK)])
+        store.append_memo("sig-a", [(MEMO_KEY, MEMO_BAD)])
+        store.append_model("learn:v1:abc", MODEL_A)
+        store.append_model("learn:v1:abc", MODEL_B)  # supersedes
+        return store
+
+    def test_drops_superseded_keeps_live(self, tmp_path):
+        store = self._populated(tmp_path)
+        before = {
+            "schedules": store.schedules(),
+            "memo": store.memo_for("sig-a"),
+            "model": store.model_for("learn:v1:abc"),
+        }
+        result = store.compact()
+        assert result["dropped"] == 2  # old sig-a schedule + old model
+        assert result["kept"] == 5
+        # live state is unchanged, in memory and after reload
+        for view in (store, SolveStore(store.path)):
+            assert view.schedules() == before["schedules"]
+            assert view.memo_for("sig-a") == before["memo"]
+            assert view.model_for("learn:v1:abc") == before["model"]
+
+    def test_surviving_lines_byte_identical(self, tmp_path):
+        # compaction must never re-serialize: surviving lines are the
+        # exact bytes that were appended, so record ids stay stable
+        store = self._populated(tmp_path)
+        original = store.path.read_text().splitlines(keepends=True)
+        store.compact()
+        compacted = store.path.read_text().splitlines(keepends=True)
+        assert all(line in original for line in compacted)
+
+    def test_idempotent(self, tmp_path):
+        store = self._populated(tmp_path)
+        store.compact()
+        text = store.path.read_text()
+        second = store.compact()
+        assert second["dropped"] == 0
+        assert store.path.read_text() == text
+
+    def test_drops_torn_tail(self, tmp_path):
+        store = self._populated(tmp_path)
+        with store.path.open("a") as handle:
+            handle.write('{"v": 1, "kind": "schedule", "si')
+        store = SolveStore(store.path)
+        assert store.skipped_lines == 1
+        store.compact()
+        assert store.skipped_lines == 0
+        assert SolveStore(store.path).skipped_lines == 0
+
+    def test_appends_still_dedup_after_compaction(self, tmp_path):
+        store = self._populated(tmp_path)
+        store.compact()
+        # the surviving records' content ids were reloaded, so
+        # re-appending identical content is still a no-op
+        assert not store.append_schedule("sig-b", SCHED_A)
+        assert not store.append_model("learn:v1:abc", MODEL_B)
+
+    def test_readonly_refuses(self, tmp_path):
+        self._populated(tmp_path)
+        store = SolveStore(tmp_path / "s.jsonl", readonly=True)
+        with pytest.raises(ValueError, match="read-only"):
+            store.compact()
+
+    def test_missing_file_is_noop(self, tmp_path):
+        store = SolveStore(tmp_path / "absent.jsonl")
+        result = store.compact()
+        assert result == {"kept": 0, "dropped": 0, "bytes": 0}
+        assert not store.path.exists()
+
+    def test_stats(self, tmp_path):
+        store = self._populated(tmp_path)
+        stats = store.stats()
+        assert stats["schedules"] == 2
+        assert stats["models"] == 1
+        assert stats["memo_entries"] == 2
+        assert stats["records"] == 7
+        assert stats["bytes"] == store.path.stat().st_size

@@ -1,0 +1,25 @@
+"""Shared fixture: one trained solve store per test session.
+
+Building the corpus means actually solving fuzz scenarios, so the
+store is session-scoped and shared by the model-determinism and
+guide tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solve_store import SolveStore
+from repro.learn.corpus import train_into_store
+from repro.learn.evalrace import build_seed_store
+
+
+@pytest.fixture(scope="session")
+def trained_store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("learn") / "store.jsonl"
+    store = SolveStore(path)
+    seeded = build_seed_store(store, range(60), limit=8)
+    assert seeded["stored"] >= 4, "seed corpus unexpectedly small"
+    stats = train_into_store(store)
+    assert stats is not None
+    return store

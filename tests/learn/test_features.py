@@ -1,0 +1,160 @@
+"""Feature extraction: fixed order, versioned schema, bit determinism."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.learn.features import (
+    BUSY_SLOTS,
+    FEATURE_NAMES,
+    QUALITY_FEATURE_NAMES,
+    FeatureContext,
+    feature_schema_id,
+)
+
+#: the scenario both the in-process and subprocess extractors price
+PLATFORM = "xavier"
+MODELS = ("googlenet", "resnet18")
+MAX_GROUPS = 4
+
+
+@pytest.fixture(scope="module")
+def scheduler(xavier, xavier_db):
+    return HaXCoNN(
+        xavier, db=xavier_db, max_groups=MAX_GROUPS, max_transitions=1
+    )
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.concurrent(*MODELS, objective="latency")
+
+
+@pytest.fixture(scope="module")
+def ctx(scheduler, workload):
+    return FeatureContext(scheduler, workload)
+
+
+class TestSchema:
+    def test_names_unique_and_fixed_width(self):
+        assert len(set(FEATURE_NAMES)) == len(FEATURE_NAMES)
+        assert QUALITY_FEATURE_NAMES == tuple(
+            f"{agg}_{name}"
+            for agg in ("mean", "max")
+            for name in FEATURE_NAMES
+        )
+
+    def test_schema_id_is_short_content_hash(self):
+        schema = feature_schema_id()
+        assert len(schema) == 16
+        assert schema == feature_schema_id()
+        int(schema, 16)  # hex
+
+
+class TestFragmentFeatures:
+    def test_vector_matches_schema_width(self, ctx):
+        variable = ctx.problem.variables[0]
+        vector = ctx.fragment_features(0, variable.domain[0])
+        assert vector.shape == (len(FEATURE_NAMES),)
+        assert vector.dtype == np.float64
+        assert np.all(np.isfinite(vector))
+
+    def test_repeated_extraction_is_bit_identical(self, scheduler, workload):
+        a = FeatureContext(scheduler, workload)
+        b = FeatureContext(scheduler, workload)
+        for n, variable in enumerate(a.problem.variables):
+            domain = list(variable.domain)
+            assert (
+                a.fragment_matrix(n, domain).tobytes()
+                == b.fragment_matrix(n, domain).tobytes()
+            )
+
+    def test_wrong_length_fragment_raises(self, ctx):
+        variable = ctx.problem.variables[0]
+        truncated = variable.domain[0][:-1]
+        with pytest.raises(ValueError, match="length"):
+            ctx.fragment_features(0, truncated)
+        assert ctx.try_fragment_features(0, truncated) is None
+
+    def test_unknown_accelerator_is_stale_not_fatal(self, ctx):
+        variable = ctx.problem.variables[0]
+        bogus = ("tpu9",) * len(variable.domain[0])
+        assert ctx.try_fragment_features(0, bogus) is None
+
+    def test_busy_shares_cover_declared_accelerators(self, ctx, xavier):
+        variable = ctx.problem.variables[0]
+        vector = ctx.fragment_features(0, variable.domain[0])
+        base = FEATURE_NAMES.index("busy_share_0")
+        used = vector[base : base + BUSY_SLOTS]
+        assert np.count_nonzero(used) <= len(xavier.accelerators)
+
+
+class TestQualityFeatures:
+    def test_mean_max_aggregation(self, ctx):
+        assignments = [
+            v.domain[0] for v in ctx.problem.variables
+        ]
+        vector = ctx.quality_features(assignments)
+        assert vector.shape == (len(QUALITY_FEATURE_NAMES),)
+        rows = np.stack(
+            [
+                ctx.fragment_features(n, a)
+                for n, a in enumerate(assignments)
+            ]
+        )
+        width = len(FEATURE_NAMES)
+        assert np.array_equal(vector[:width], rows.mean(axis=0))
+        assert np.array_equal(vector[width:], rows.max(axis=0))
+
+    def test_stream_count_mismatch_raises(self, ctx):
+        with pytest.raises(ValueError, match="per-stream"):
+            ctx.quality_features([ctx.problem.variables[0].domain[0]])
+
+
+_SUBPROCESS_EXTRACTOR = f"""
+import json
+from repro.core.haxconn import HaXCoNN
+from repro.core.workload import Workload
+from repro.learn.features import FeatureContext, feature_schema_id
+from repro.profiling.database import ProfileDB
+from repro.soc.platform import get_platform
+
+platform = get_platform({PLATFORM!r})
+scheduler = HaXCoNN(
+    platform, db=ProfileDB(platform),
+    max_groups={MAX_GROUPS}, max_transitions=1,
+)
+workload = Workload.concurrent(*{MODELS!r}, objective="latency")
+ctx = FeatureContext(scheduler, workload)
+rows = {{}}
+for n, variable in enumerate(ctx.problem.variables):
+    matrix = ctx.fragment_matrix(n, list(variable.domain))
+    rows[str(n)] = [[v.hex() for v in row] for row in matrix.tolist()]
+print(json.dumps({{"schema": feature_schema_id(), "rows": rows}}))
+"""
+
+
+def test_extraction_is_process_independent(scheduler, workload):
+    """The cross-process pin: a model trained elsewhere scores the
+    same fragments here, so vectors must agree bit for bit."""
+    env = dict(os.environ)
+    proc = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_EXTRACTOR],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    remote = json.loads(proc.stdout)
+    assert remote["schema"] == feature_schema_id()
+    ctx = FeatureContext(scheduler, workload)
+    for n, variable in enumerate(ctx.problem.variables):
+        matrix = ctx.fragment_matrix(n, list(variable.domain))
+        local = [[v.hex() for v in row] for row in matrix.tolist()]
+        assert local == remote["rows"][str(n)]

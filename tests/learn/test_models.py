@@ -1,0 +1,110 @@
+"""Model training: deterministic, serializable, store-round-trippable."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.solve_store import SolveStore
+from repro.learn.corpus import train_bundle
+from repro.learn.models import (
+    LogisticModel,
+    ModelBundle,
+    TreeModel,
+    model_sig,
+)
+
+
+def _synthetic_corpus(seed=7, rows=120, cols=6):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(rows, cols))
+    y_class = (x[:, 0] + 0.5 * x[:, 1] > 0).astype(np.float64)
+    y_reg = x[:, 0] ** 2 + 0.25 * x[:, 2]
+    return x, y_class, y_reg
+
+
+class TestLogisticModel:
+    def test_training_is_deterministic(self):
+        x, y, _ = _synthetic_corpus()
+        a = LogisticModel.train(x, y, schema="s")
+        b = LogisticModel.train(x, y, schema="s")
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+
+    def test_learns_the_separator(self):
+        x, y, _ = _synthetic_corpus()
+        model = LogisticModel.train(x, y, schema="s")
+        predictions = (model.predict(x) > 0.5).astype(np.float64)
+        assert (predictions == y).mean() > 0.9
+
+    def test_round_trip_preserves_predictions(self):
+        x, y, _ = _synthetic_corpus()
+        model = LogisticModel.train(x, y, schema="s")
+        back = LogisticModel.from_dict(
+            json.loads(json.dumps(model.to_dict()))
+        )
+        assert np.array_equal(model.predict(x), back.predict(x))
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError, match="shapes"):
+            LogisticModel.train(
+                np.zeros((0, 3)), np.zeros(0), schema="s"
+            )
+
+
+class TestTreeModel:
+    def test_training_is_deterministic(self):
+        x, _, y = _synthetic_corpus()
+        a = TreeModel.train(x, y, schema="s")
+        b = TreeModel.train(x, y, schema="s")
+        assert json.dumps(a.to_dict()) == json.dumps(b.to_dict())
+
+    def test_reduces_variance(self):
+        x, _, y = _synthetic_corpus()
+        model = TreeModel.train(x, y, schema="s")
+        residual = y - model.predict(x)
+        assert (residual**2).mean() < ((y - y.mean()) ** 2).mean()
+
+    def test_round_trip_preserves_predictions(self):
+        x, _, y = _synthetic_corpus()
+        model = TreeModel.train(x, y, schema="s")
+        back = TreeModel.from_dict(
+            json.loads(json.dumps(model.to_dict()))
+        )
+        assert np.array_equal(model.predict(x), back.predict(x))
+
+    def test_constant_target_is_single_leaf(self):
+        x, _, _ = _synthetic_corpus()
+        model = TreeModel.train(x, np.ones(x.shape[0]), schema="s")
+        assert model.root == {"leaf": 1.0}
+
+
+class TestBundle:
+    def test_store_training_is_byte_identical(self, trained_store):
+        """Satellite 3's pin: retraining on the same store serializes
+        the byte-identical bundle."""
+        first, _ = train_bundle(trained_store)
+        second, _ = train_bundle(trained_store)
+        assert first.to_json() == second.to_json()
+
+    def test_bundle_survives_store_and_compaction(
+        self, trained_store, tmp_path
+    ):
+        bundle, _ = train_bundle(trained_store)
+        store = SolveStore(tmp_path / "s.jsonl")
+        store.append_model(bundle.sig, bundle.to_dict())
+        store.compact()
+        body = SolveStore(store.path).model_for(bundle.sig)
+        assert body is not None
+        assert ModelBundle.from_dict(body).to_json() == bundle.to_json()
+
+    def test_sig_binds_schema(self, trained_store):
+        bundle, stats = train_bundle(trained_store)
+        assert bundle.sig == model_sig(stats["schema"])
+        assert bundle.schema == stats["schema"]
+
+    def test_from_dict_rejects_foreign_versions(self, trained_store):
+        bundle, _ = train_bundle(trained_store)
+        payload = bundle.to_dict()
+        payload["v"] = 99
+        with pytest.raises(ValueError, match="version"):
+            ModelBundle.from_dict(payload)
